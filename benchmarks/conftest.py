@@ -1,0 +1,28 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper
+(plus ablations), wrapped in pytest-benchmark so the cost of every
+experiment is tracked run-over-run.  Simulation experiments execute once
+per benchmark (``rounds=1``) — they are full discrete-event runs, not
+microbenchmarks — while the analytic tables use normal timing loops.
+
+Scale comes from ``REPRO_SCALE`` (small | medium | paper), as everywhere
+else.  Results print with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scale import current_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return current_scale()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a heavyweight experiment with a single execution."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Full energy-proportional-fabric demo: the paper's Section 4 in one run.
+
+For the three workloads (Uniform, Advert-like, Search-like) this script
+simulates four operating modes of the same flattened butterfly:
+
+  1. baseline       — every link pinned at 40 Gb/s (today's networks)
+  2. always-slowest — every link pinned at 2.5 Gb/s (cheap but broken)
+  3. paired         — epoch controller, link pairs tuned together
+  4. independent    — epoch controller, per-channel tuning (the proposal)
+
+and prints power (measured and ideal channel models), latency and
+delivered throughput, plus the dollar value of the savings extrapolated
+to the paper's 32k-host network.
+
+Run:  python examples/energy_proportional_fabric.py   (~1 minute)
+"""
+
+from repro import (
+    ControllerConfig,
+    EnergyCostModel,
+    EpochController,
+    FbflyNetwork,
+    FlattenedButterfly,
+    IdealChannelPower,
+    MeasuredChannelPower,
+    NetworkConfig,
+    UniformRandomWorkload,
+    advert_workload,
+    search_workload,
+)
+from repro.experiments.report import dollars, format_table, pct, us
+
+DURATION_NS = 1_500_000.0
+TOPOLOGY = FlattenedButterfly(k=4, n=3)
+
+#: Power of the paper's full-scale FBFLY, for the savings extrapolation.
+FULL_SCALE_WATTS = 737_280.0
+
+
+def build_workload(name: str):
+    if name == "uniform":
+        return UniformRandomWorkload(TOPOLOGY.num_hosts, offered_load=0.25)
+    if name == "advert":
+        return advert_workload(TOPOLOGY.num_hosts)
+    return search_workload(TOPOLOGY.num_hosts)
+
+
+def simulate(workload_name: str, mode: str):
+    config = NetworkConfig(seed=11)
+    if mode == "always-slowest":
+        config = NetworkConfig(seed=11, initial_rate_gbps=2.5)
+    network = FbflyNetwork(TOPOLOGY, config)
+    if mode in ("paired", "independent"):
+        EpochController(network, config=ControllerConfig(
+            independent_channels=(mode == "independent")))
+    workload = build_workload(workload_name)
+    network.attach_workload(workload.events(DURATION_NS))
+    return network.run(until_ns=DURATION_NS)
+
+
+def main() -> None:
+    cost = EnergyCostModel()
+    measured_model = MeasuredChannelPower()
+    ideal_model = IdealChannelPower()
+
+    for workload_name in ("uniform", "advert", "search"):
+        rows = []
+        baseline = None
+        for mode in ("baseline", "always-slowest", "paired", "independent"):
+            stats = simulate(workload_name, mode)
+            if mode == "baseline":
+                baseline = stats
+            added = (stats.mean_message_latency_ns()
+                     - baseline.mean_message_latency_ns())
+            measured = stats.power_fraction(measured_model)
+            rows.append([
+                mode,
+                pct(measured),
+                pct(stats.power_fraction(ideal_model)),
+                us(added),
+                pct(stats.delivered_fraction()),
+                dollars(cost.lifetime_savings(
+                    FULL_SCALE_WATTS, FULL_SCALE_WATTS * measured)),
+            ])
+        print(format_table(
+            ["Mode", "Power (measured)", "Power (ideal)", "Added latency",
+             "Delivered", "4yr savings @32k hosts"],
+            rows,
+            title=f"Workload: {workload_name} "
+                  f"(avg util {baseline.average_utilization():.1%})"))
+        print()
+
+    print("Note: 'always-slowest' shows why static downclocking is not an")
+    print("option — its delivered fraction collapses under real load,")
+    print("while the epoch controller keeps throughput at baseline.")
+
+
+if __name__ == "__main__":
+    main()

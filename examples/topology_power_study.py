@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Topology power study: what Section 2 of the paper does, as a tool.
+
+Sweeps cluster sizes, compares flattened-butterfly and folded-Clos
+builds at equal bisection bandwidth, and prints parts, power, and
+four-year energy cost — including the effect of over-subscription on
+the FBFLY side (Section 2.1.1).
+
+Run:  python examples/topology_power_study.py
+"""
+
+from repro import ClusterPowerModel, EnergyCostModel, FlattenedButterfly, FoldedClos
+from repro.experiments.report import dollars, format_table
+
+
+def best_fbfly(num_hosts: int, max_ports: int = 64) -> FlattenedButterfly:
+    """Highest-radix, lowest-dimension FBFLY that reaches ``num_hosts``.
+
+    Mirrors the paper's guidance: "it is advantageous to build the
+    highest-radix, lowest dimension FBFLY that scales high enough and
+    does not exceed the number of available switch ports."
+    """
+    for n in range(2, 8):
+        # Smallest k whose k-ary n-flat reaches num_hosts.
+        k = 2
+        while k ** n < num_hosts:
+            k += 1
+        candidate = FlattenedButterfly(k=k, n=n)
+        if candidate.ports_per_switch <= max_ports:
+            return candidate
+    raise ValueError(f"no FBFLY under {max_ports} ports reaches {num_hosts}")
+
+
+def main() -> None:
+    power = ClusterPowerModel()
+    cost = EnergyCostModel()
+
+    rows = []
+    for hosts in (4096, 8192, 16384, 32768, 65536):
+        fbfly = best_fbfly(hosts)
+        clos = FoldedClos(hosts)
+        fb_watts = power.network_power(fbfly).total_watts
+        clos_watts = power.network_power(clos).total_watts
+        rows.append([
+            f"{hosts:,}",
+            f"(k={fbfly.k}, n={fbfly.n})",
+            f"{fbfly.num_switches:,} vs {clos.part_counts().switch_chips:,}",
+            f"{fb_watts / 1000:,.0f} kW vs {clos_watts / 1000:,.0f} kW",
+            dollars(cost.lifetime_savings(clos_watts, fb_watts)),
+        ])
+    print(format_table(
+        ["Hosts", "FBFLY shape", "Chips (FBFLY vs Clos)",
+         "Power (FBFLY vs Clos)", "4-year savings"],
+        rows,
+        title="FBFLY vs folded-Clos across cluster sizes"))
+
+    # Over-subscription study on the paper's Figure 3 configuration.
+    print()
+    rows = []
+    for c in (8, 10, 12, 16):
+        topo = FlattenedButterfly(k=8, n=4, c=c)
+        watts = power.network_power(topo).total_watts
+        rows.append([
+            f"c={c}",
+            f"{topo.num_hosts:,}",
+            f"{topo.oversubscription:.2f}:1",
+            f"{topo.ports_per_switch}",
+            f"{watts / topo.num_hosts:.1f} W/host",
+        ])
+    print(format_table(
+        ["Concentration", "Hosts", "Over-subscription", "Ports/switch",
+         "Network power per host"],
+        rows,
+        title="Over-subscribing an 8-ary 4-flat (Section 2.1.1)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 517 editable installs fail; ``python setup.py develop`` (or
+``pip install -e . --no-build-isolation``) uses this shim instead.  All
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

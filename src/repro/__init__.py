@@ -1,0 +1,95 @@
+"""repro — a reproduction of "Energy Proportional Datacenter Networks"
+(Abts, Marty, Wells, Klausler, Liu — ISCA 2010).
+
+The library has three layers:
+
+- **Analytic** (:mod:`repro.topology`, :mod:`repro.power`): topology
+  bills-of-materials and power/cost models behind the paper's Figure 1
+  and Table 1 comparisons of flattened-butterfly vs folded-Clos builds.
+- **Simulation** (:mod:`repro.sim`, :mod:`repro.routing`,
+  :mod:`repro.workloads`): an event-driven network simulator with
+  credit-based cut-through flow control, queue-depth adaptive routing,
+  and multi-rate plesiochronous channels, driven by the paper's uniform
+  workload and synthetic production-trace substitutes.
+- **Control** (:mod:`repro.core`): the paper's contribution — the
+  epoch-based link-rate controller and its policies, independent vs
+  paired channel control, and the dynamic-topology extension.
+
+:mod:`repro.experiments` regenerates every table and figure of the
+paper's evaluation on top of these layers.
+
+Quickstart::
+
+    from repro import (FlattenedButterfly, FbflyNetwork, EpochController,
+                       search_workload, MeasuredChannelPower)
+
+    topo = FlattenedButterfly(k=4, n=3)          # 64 hosts, 16 switches
+    net = FbflyNetwork(topo)
+    EpochController(net)                          # paper's heuristic
+    net.attach_workload(search_workload(topo.num_hosts).events(2e6))
+    stats = net.run(until_ns=2e6)
+    print(stats.power_fraction(MeasuredChannelPower()))
+"""
+
+from repro.topology import FatTree, FlattenedButterfly, FoldedClos
+from repro.power import (
+    CapexModel,
+    ClusterPowerModel,
+    EnergyCostModel,
+    MeasuredChannelPower,
+    IdealChannelPower,
+    DEFAULT_RATE_LADDER,
+)
+from repro.sim import (
+    FatTreeNetwork,
+    FbflyNetwork,
+    LinkFaultInjector,
+    NetworkConfig,
+)
+from repro.core import (
+    EpochController,
+    ControllerConfig,
+    ThresholdPolicy,
+    HysteresisPolicy,
+    AggressivePolicy,
+    PredictivePolicy,
+    DynamicTopologyController,
+    DynamicTopologyConfig,
+    TopologyMode,
+)
+from repro.workloads import (
+    UniformRandomWorkload,
+    search_workload,
+    advert_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FlattenedButterfly",
+    "FoldedClos",
+    "FatTree",
+    "FatTreeNetwork",
+    "LinkFaultInjector",
+    "CapexModel",
+    "ClusterPowerModel",
+    "EnergyCostModel",
+    "MeasuredChannelPower",
+    "IdealChannelPower",
+    "DEFAULT_RATE_LADDER",
+    "FbflyNetwork",
+    "NetworkConfig",
+    "EpochController",
+    "ControllerConfig",
+    "ThresholdPolicy",
+    "HysteresisPolicy",
+    "AggressivePolicy",
+    "PredictivePolicy",
+    "DynamicTopologyController",
+    "DynamicTopologyConfig",
+    "TopologyMode",
+    "UniformRandomWorkload",
+    "search_workload",
+    "advert_workload",
+    "__version__",
+]

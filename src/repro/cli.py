@@ -1,0 +1,158 @@
+"""Command-line driver: regenerate any (or every) paper result.
+
+Usage::
+
+    python -m repro list
+    python -m repro table1
+    python -m repro figure8 --scale medium
+    python -m repro all --output results/
+
+Simulation-backed experiments honour ``--scale`` (equivalent to the
+``REPRO_SCALE`` environment variable); analytic ones ignore it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from repro.experiments import (
+    asymmetry,
+    dynamic_topology,
+    energy_aware,
+    lane_ladder,
+    mixed_media,
+    oversubscription,
+    figure1,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    policies,
+    routing_ablation,
+    savings,
+    sensors,
+    table1,
+    table2,
+    topology_comparison,
+)
+from repro.experiments.scale import SCALES, ExperimentScale, current_scale
+
+#: name -> (description, needs_scale, run callable)
+EXPERIMENTS: Dict[str, tuple] = {
+    "table1": ("FBFLY vs folded-Clos parts and power", False, table1.run),
+    "table2": ("InfiniBand data rates", False, table2.run),
+    "figure1": ("server vs network power scenarios", False, figure1.run),
+    "figure5": ("switch-chip dynamic range", False, figure5.run),
+    "figure6": ("ITRS bandwidth trend", False, figure6.run),
+    "figure7": ("time per link speed, paired vs independent", True,
+                figure7.run),
+    "figure8": ("network power under rate scaling", True, figure8.run),
+    "figure9": ("latency sensitivity (target, reactivation)", True,
+                figure9.run),
+    "asymmetry": ("per-direction channel load imbalance", True,
+                  asymmetry.run),
+    "policies": ("Section 5.2 heuristic ablation", True, policies.run),
+    "dynamic-topology": ("Section 5.1 mesh/torus/FBFLY modes", True,
+                         dynamic_topology.run),
+    "topology-comparison": ("rate scaling on FBFLY vs fat tree", True,
+                            topology_comparison.run),
+    "energy-aware": ("energy-aware vs plain adaptive routing", True,
+                     energy_aware.run),
+    "lane-ladder": ("scalar vs lane-aware rate ladders (§5.2)", True,
+                    lane_ladder.run),
+    "savings": ("simulated savings priced at the 32k-host scale", True,
+                savings.run),
+    "sensors": ("congestion-sensor ablation (§3.2)", True, sensors.run),
+    "routing-ablation": ("adaptive vs dimension-order routing under "
+                         "rate scaling", True, routing_ablation.run),
+    "mixed-media": ("copper vs optical packaging-aware pricing", True,
+                    mixed_media.run),
+    "oversubscription": ("§2.1.1 concentration sweep: W/host vs "
+                         "saturation", True, oversubscription.run),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser for the CLI."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce 'Energy Proportional Datacenter Networks' "
+                    "(ISCA 2010) results.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "list"],
+        help="experiment to run, 'all', or 'list' to enumerate them",
+    )
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default=None,
+        help="simulation scale (default: $REPRO_SCALE or 'small')",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help="directory to also write each result table into",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="with --output: also write each result's rows as "
+             "<name>.json for downstream tooling",
+    )
+    return parser
+
+
+def run_experiment(name: str, scale: ExperimentScale,
+                   output_dir: Optional[Path],
+                   write_json: bool = False) -> str:
+    """Run one experiment and return its formatted table."""
+    description, needs_scale, run = EXPERIMENTS[name]
+    started = time.perf_counter()
+    result = run(scale=scale) if needs_scale else run()
+    text = result.format_table()
+    elapsed = time.perf_counter() - started
+    header = f"[{name}] {description} ({elapsed:.1f}s)"
+    block = f"{header}\n{text}\n"
+    if output_dir is not None:
+        output_dir.mkdir(parents=True, exist_ok=True)
+        (output_dir / f"{name}.txt").write_text(text + "\n")
+        if write_json:
+            payload = {
+                "experiment": name,
+                "description": description,
+                "scale": scale.name if needs_scale else None,
+                "seconds": round(elapsed, 3),
+                "rows": [[str(cell) for cell in row]
+                         for row in result.rows()],
+            }
+            (output_dir / f"{name}.json").write_text(
+                json.dumps(payload, indent=2) + "\n")
+    return block
+
+
+def main(argv=None) -> int:
+    """CLI entry point: run the experiment and print its table."""
+    args = build_parser().parse_args(argv)
+
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            description, needs_scale, _ = EXPERIMENTS[name]
+            kind = "sim" if needs_scale else "analytic"
+            print(f"{name:22s} [{kind:8s}] {description}")
+        return 0
+
+    scale = SCALES[args.scale] if args.scale else current_scale()
+    names = (sorted(EXPERIMENTS) if args.experiment == "all"
+             else [args.experiment])
+    for name in names:
+        print(run_experiment(name, scale, args.output,
+                             write_json=args.json))
+    return 0
+
+
+if __name__ == "__main__":   # pragma: no cover - exercised via __main__
+    sys.exit(main())

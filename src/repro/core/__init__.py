@@ -1,0 +1,75 @@
+"""The paper's core contribution: energy-proportional link-rate control.
+
+- :mod:`repro.core.policies` — rate-decision policies: the paper's
+  threshold heuristic (Section 3.3) plus the Section 5.2 extensions
+  (hysteresis, aggressive min/max jumps, predictive EWMA).
+- :mod:`repro.core.grouping` — control groups: independent unidirectional
+  channels vs bidirectional link pairs (Section 3.3.1).
+- :mod:`repro.core.controller` — the epoch-based controller that samples
+  utilization and retunes every link.
+- :mod:`repro.core.ideal` — ideal-energy-proportionality reference
+  points (Section 4.2.1).
+- :mod:`repro.core.dynamic_topology` — the Section 5.1 dynamic-topology
+  controller (FBFLY <-> torus <-> mesh by powering links off).
+"""
+
+from repro.core.policies import (
+    RatePolicy,
+    ThresholdPolicy,
+    HysteresisPolicy,
+    AggressivePolicy,
+    PredictivePolicy,
+)
+from repro.core.grouping import (
+    ChannelGroup,
+    independent_groups,
+    paired_groups,
+)
+from repro.core.controller import EpochController, ControllerConfig
+from repro.core.lane_controller import (
+    LaneAwareController,
+    LaneControllerConfig,
+)
+from repro.core.sensors import (
+    GroupReading,
+    UtilizationSensor,
+    QueueOccupancySensor,
+    CreditStallSensor,
+    CompositeSensor,
+)
+from repro.core.ideal import (
+    ideal_power_fraction,
+    always_slowest_power_fraction,
+    power_dynamic_range,
+)
+from repro.core.dynamic_topology import (
+    TopologyMode,
+    DynamicTopologyController,
+    DynamicTopologyConfig,
+)
+
+__all__ = [
+    "RatePolicy",
+    "ThresholdPolicy",
+    "HysteresisPolicy",
+    "AggressivePolicy",
+    "PredictivePolicy",
+    "ChannelGroup",
+    "independent_groups",
+    "paired_groups",
+    "EpochController",
+    "ControllerConfig",
+    "LaneAwareController",
+    "LaneControllerConfig",
+    "GroupReading",
+    "UtilizationSensor",
+    "QueueOccupancySensor",
+    "CreditStallSensor",
+    "CompositeSensor",
+    "ideal_power_fraction",
+    "always_slowest_power_fraction",
+    "power_dynamic_range",
+    "TopologyMode",
+    "DynamicTopologyController",
+    "DynamicTopologyConfig",
+]

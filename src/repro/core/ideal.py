@@ -1,0 +1,45 @@
+"""Ideal energy-proportionality reference points (Section 4.2.1).
+
+The paper frames every result against two references:
+
+- **Ideal**: "the energy consumed by the network would exactly equal the
+  average utilization of all links in the network" — ideal channels
+  (power linear in rate) *and* zero reactivation time.
+- **Always-slowest**: a network permanently in its lowest mode consumes
+  the slowest mode's power (42% measured, 6.25% ideal) "however ... a
+  network that always operates in the slowest mode fails to keep up with
+  the offered host load."
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.power.channel_models import ChannelPowerModel
+from repro.power.link_rates import RateLadder, DEFAULT_RATE_LADDER
+from repro.sim.stats import ChannelStats, NetworkStats
+
+
+def ideal_power_fraction(
+    stats: NetworkStats,
+    channels: Optional[Sequence[ChannelStats]] = None,
+) -> float:
+    """Power of a perfectly energy-proportional network, as a fraction of
+    the full-rate baseline: the average utilization of all links."""
+    return stats.average_utilization(channels)
+
+
+def always_slowest_power_fraction(
+    model: ChannelPowerModel,
+    ladder: RateLadder = DEFAULT_RATE_LADDER,
+) -> float:
+    """Power of a network pinned to the slowest mode, vs baseline."""
+    return model.power(ladder.min_rate)
+
+
+def power_dynamic_range(
+    model: ChannelPowerModel,
+    ladder: RateLadder = DEFAULT_RATE_LADDER,
+) -> float:
+    """Fraction of full power shed between fastest and slowest modes."""
+    return 1.0 - model.power(ladder.min_rate) / model.power(ladder.max_rate)

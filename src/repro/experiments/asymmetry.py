@@ -1,0 +1,96 @@
+"""Channel-load asymmetry (Section 3.3.1, the basis of Figure 7b).
+
+Measures, on a baseline full-rate run, how unequally the two directions
+of each bidirectional link are loaded.  The paper's argument: "many
+traffic patterns show very asymmetric use", so tying a link pair to one
+speed wastes the quiet direction's power.  We report the distribution of
+per-pair utilization ratios plus the workload-level host asymmetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.experiments.report import format_table, pct
+from repro.experiments.scale import ExperimentScale, current_scale
+from repro.sim.network import FbflyNetwork, NetworkConfig
+from repro.topology.flattened_butterfly import FlattenedButterfly
+from repro.workloads.synthetic_traces import advert_workload, search_workload
+
+
+@dataclass
+class AsymmetryResult:
+    workload: str
+    #: max(util)/min(util) per link pair, for pairs with traffic both ways.
+    pair_ratios: np.ndarray
+    #: Fraction of pairs where one direction carries >= 2x the other.
+    fraction_2x: float
+    #: Mean utilization of the busier vs quieter direction.
+    mean_hot_utilization: float
+    mean_cold_utilization: float
+
+    def rows(self) -> List[List[object]]:
+        """The result's data rows, matching ``format_table``'s columns."""
+        if len(self.pair_ratios) == 0:
+            return [["(no loaded pairs)", "-", "-"]]
+        return [
+            ["median direction ratio", f"{np.median(self.pair_ratios):.2f}x", ""],
+            ["90th pct direction ratio",
+             f"{np.percentile(self.pair_ratios, 90):.2f}x", ""],
+            ["pairs with >=2x imbalance", pct(self.fraction_2x), ""],
+            ["mean util (hot direction)", pct(self.mean_hot_utilization), ""],
+            ["mean util (cold direction)", pct(self.mean_cold_utilization), ""],
+        ]
+
+    def format_table(self) -> str:
+        """Render the result as an aligned text table."""
+        return format_table(
+            ["Metric", "Value", ""],
+            self.rows(),
+            title=f"Channel asymmetry on baseline run ({self.workload})",
+        )
+
+
+def run(scale: Optional[ExperimentScale] = None,
+        workload: str = "search", seed: int = 1) -> AsymmetryResult:
+    """Run the experiment and return its result object."""
+    scale = scale or current_scale()
+    topology = FlattenedButterfly(k=scale.k, n=scale.n)
+    network = FbflyNetwork(topology, NetworkConfig(seed=seed))
+    builders = {"search": search_workload, "advert": advert_workload}
+    wl = builders[workload](topology.num_hosts, seed=seed)
+    network.attach_workload(wl.events(scale.duration_ns))
+    stats = network.run(until_ns=scale.duration_ns)
+
+    duration = stats.duration_ns
+    ratios = []
+    hot, cold = [], []
+    for fwd, rev in network.link_pairs():
+        u_fwd = fwd.stats.busy_ns / duration
+        u_rev = rev.stats.busy_ns / duration
+        lo, hi = sorted((u_fwd, u_rev))
+        hot.append(hi)
+        cold.append(lo)
+        if lo > 0:
+            ratios.append(hi / lo)
+    ratios_arr = np.array(ratios)
+    return AsymmetryResult(
+        workload=workload,
+        pair_ratios=ratios_arr,
+        fraction_2x=(float(np.mean(ratios_arr >= 2.0))
+                     if len(ratios_arr) else 0.0),
+        mean_hot_utilization=float(np.mean(hot)) if hot else 0.0,
+        mean_cold_utilization=float(np.mean(cold)) if cold else 0.0,
+    )
+
+
+def main() -> None:
+    """CLI entry point: run the experiment and print its table."""
+    print(run().format_table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Terminal bar charts for experiment output.
+
+The paper's figures are bar charts and line series; in a terminal the
+faithful rendering is a horizontal bar chart.  These helpers are purely
+presentational — every experiment's data remains available through its
+``rows()`` accessor — but make ``python -m repro figure8`` read like the
+paper's Figure 8.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+_FULL = "#"
+_EMPTY = "."
+
+
+def bar(value: float, scale_max: float, width: int = 40) -> str:
+    """Render one horizontal bar filling ``value / scale_max`` of width."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    if scale_max <= 0:
+        raise ValueError(f"scale_max must be positive, got {scale_max}")
+    clamped = max(0.0, min(value, scale_max))
+    filled = round(width * clamped / scale_max)
+    return _FULL * filled + _EMPTY * (width - filled)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    scale_max: Optional[float] = None,
+    fmt: str = "{:.1%}",
+    title: str = "",
+) -> str:
+    """Render labelled horizontal bars, one per row."""
+    if len(labels) != len(values):
+        raise ValueError(
+            f"{len(labels)} labels but {len(values)} values")
+    if not labels:
+        return title
+    resolved_max = scale_max if scale_max is not None else max(
+        max(values), 1e-12)
+    label_width = max(len(label) for label in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        rendered = bar(value, resolved_max, width)
+        lines.append(
+            f"{label.ljust(label_width)} |{rendered}| {fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Dict[str, Dict[str, float]],
+    width: int = 40,
+    scale_max: Optional[float] = None,
+    fmt: str = "{:.1%}",
+    title: str = "",
+) -> str:
+    """Render groups of bars: ``{group: {series: value}}``.
+
+    Mirrors the paper's grouped-bar figures (e.g. Figure 8's per-workload
+    clusters of control mechanisms).
+    """
+    all_values = [v for series in groups.values() for v in series.values()]
+    if not all_values:
+        return title
+    resolved_max = scale_max if scale_max is not None else max(
+        max(all_values), 1e-12)
+    blocks: List[str] = []
+    if title:
+        blocks.append(title)
+    for group_name, series in groups.items():
+        blocks.append(f"{group_name}:")
+        chart = bar_chart(
+            list(series), list(series.values()),
+            width=width, scale_max=resolved_max, fmt=fmt)
+        blocks.append("\n".join("  " + line for line in chart.split("\n")))
+    return "\n".join(blocks)

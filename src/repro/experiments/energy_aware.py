@@ -1,0 +1,84 @@
+"""Ablation: energy-aware routing vs plain adaptive routing (§5.1).
+
+Plain queue-depth adaptive routing levels load — keeping every link
+lukewarm and preventing deep sleep; energy-aware routing consolidates
+traffic onto already-fast links so cold links keep descending the rate
+ladder.  This experiment runs both under the same epoch controller and
+reports power, latency and time-at-slowest-rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.controller import ControllerConfig, EpochController
+from repro.experiments.report import format_table, pct, us
+from repro.experiments.scale import ExperimentScale, current_scale
+from repro.power.channel_models import IdealChannelPower, MeasuredChannelPower
+from repro.routing.energy_aware import EnergyAwareRouting
+from repro.sim.network import FbflyNetwork, NetworkConfig
+from repro.sim.stats import NetworkStats
+from repro.topology.flattened_butterfly import FlattenedButterfly
+from repro.workloads.synthetic_traces import search_workload
+
+
+@dataclass
+class EnergyAwareResult:
+    runs: Dict[str, NetworkStats]
+
+    def slowest_time(self, name: str) -> float:
+        """Fraction of channel-time at the slowest rate."""
+        fractions = self.runs[name].time_at_rate_fractions()
+        return fractions.get(2.5, 0.0)
+
+    def rows(self) -> List[List[object]]:
+        """The result's data rows, matching ``format_table``'s columns."""
+        rows = []
+        for name, stats in self.runs.items():
+            rows.append([
+                name,
+                pct(stats.power_fraction(MeasuredChannelPower())),
+                pct(stats.power_fraction(IdealChannelPower())),
+                pct(self.slowest_time(name)),
+                us(stats.mean_message_latency_ns()),
+                pct(stats.delivered_fraction()),
+            ])
+        return rows
+
+    def format_table(self) -> str:
+        """Render the result as an aligned text table."""
+        return format_table(
+            ["Routing", "Power (measured)", "Power (ideal)",
+             "Time at 2.5 Gb/s", "Mean latency", "Delivered"],
+            self.rows(),
+            title="Energy-aware vs plain adaptive routing "
+                  "(Search, independent channels)",
+        )
+
+
+def run(scale: Optional[ExperimentScale] = None,
+        seed: int = 1) -> EnergyAwareResult:
+    """Run the experiment and return its result object."""
+    scale = scale or current_scale()
+    topology = FlattenedButterfly(k=scale.k, n=scale.n)
+    runs: Dict[str, NetworkStats] = {}
+    for name, factory in (("adaptive", None),
+                          ("energy-aware", EnergyAwareRouting)):
+        network = FbflyNetwork(topology, NetworkConfig(seed=seed),
+                               routing_factory=factory)
+        EpochController(network, config=ControllerConfig(
+            independent_channels=True))
+        workload = search_workload(topology.num_hosts, seed=seed)
+        network.attach_workload(workload.events(0.7 * scale.duration_ns))
+        runs[name] = network.run(until_ns=scale.duration_ns)
+    return EnergyAwareResult(runs=runs)
+
+
+def main() -> None:
+    """CLI entry point: run the experiment and print its table."""
+    print(run().format_table())
+
+
+if __name__ == "__main__":
+    main()

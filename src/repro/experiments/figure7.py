@@ -1,0 +1,103 @@
+"""Figure 7: fraction of time spent at each link speed.
+
+The Search workload under the paper's default settings (1 us
+reactivation, 10 us epoch, 50% target utilization), once with
+bidirectional link pairs tuned together (today's chips) and once with
+independent per-channel control (the paper's proposal).  The expected
+shape: most time in the slowest mode, and independent control roughly
+halving the time spent at the fast speeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from repro.experiments.report import format_table, pct
+from repro.experiments.runner import (
+    SimulationSpec,
+    SimulationSummary,
+    cached_run,
+)
+from repro.experiments.scale import ExperimentScale, current_scale
+
+
+@dataclass
+class Figure7Result:
+    paired: SimulationSummary
+    independent: SimulationSummary
+
+    @staticmethod
+    def _speeds(summary: SimulationSummary) -> List[float]:
+        return sorted(r for r in summary.time_at_rate if r is not None)
+
+    def rows(self) -> List[List[object]]:
+        """The result's data rows, matching ``format_table``'s columns."""
+        speeds = sorted(set(self._speeds(self.paired))
+                        | set(self._speeds(self.independent)))
+        rows = []
+        for speed in speeds:
+            rows.append([
+                f"{speed:g} Gb/s",
+                pct(self.paired.time_at_rate.get(speed, 0.0)),
+                pct(self.independent.time_at_rate.get(speed, 0.0)),
+            ])
+        return rows
+
+    def fast_time(self, summary: SimulationSummary,
+                  threshold_gbps: float = 10.0) -> float:
+        """Aggregate time fraction at speeds >= threshold."""
+        return sum(frac for rate, frac in summary.time_at_rate.items()
+                   if rate is not None and rate >= threshold_gbps)
+
+    def format_chart(self) -> str:
+        """Both panels as bar charts over link speed."""
+        from repro.experiments.charts import bar_chart
+        panels = []
+        for title, summary in (("(a) bidirectional link pair", self.paired),
+                               ("(b) independent control",
+                                self.independent)):
+            speeds = self._speeds(summary)
+            panels.append(bar_chart(
+                [f"{s:g} Gb/s" for s in speeds],
+                [summary.time_at_rate.get(s, 0.0) for s in speeds],
+                scale_max=1.0,
+                title=f"Figure 7{title}"))
+        return "\n\n".join(panels)
+
+    def format_table(self) -> str:
+        """Render the result as an aligned text table."""
+        table = format_table(
+            ["Link speed", "(a) Bidirectional link pair",
+             "(b) Independent control"],
+            self.rows(),
+            title="Figure 7: fraction of time at each link speed (Search)",
+        )
+        return (
+            f"{table}\n"
+            f"Time at >=10 Gb/s: paired {pct(self.fast_time(self.paired))}, "
+            f"independent {pct(self.fast_time(self.independent))}\n\n"
+            f"{self.format_chart()}"
+        )
+
+
+def run(scale: Optional[ExperimentScale] = None,
+        workload: str = "search") -> Figure7Result:
+    """Run the experiment and return its result object."""
+    scale = scale or current_scale()
+    base = SimulationSpec(
+        k=scale.k, n=scale.n, workload=workload,
+        duration_ns=scale.duration_ns,
+    )
+    paired = cached_run(base)
+    independent = cached_run(replace(base, independent_channels=True))
+    return Figure7Result(paired=paired, independent=independent)
+
+
+def main() -> None:
+    """CLI entry point: run the experiment and print its table."""
+    print(run().format_table())
+
+
+if __name__ == "__main__":
+    main()

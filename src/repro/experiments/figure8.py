@@ -1,0 +1,149 @@
+"""Figure 8: network power when dynamically detuning FBFLY links.
+
+For each workload (Uniform, Advert, Search) and each channel-control
+mechanism (bidirectional pairs, independent channels), report network
+power as a percent of the full-rate baseline under:
+
+- (a) the measured channel power curve of Figure 5, and
+- (b) ideally energy-proportional channels,
+
+alongside the two references the paper discusses in Section 4.2.1: the
+always-slowest network (42% measured / 6.25% ideal, but it cannot carry
+the load) and the ideal energy-proportional network (power = the
+baseline run's average utilization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from repro.core.ideal import always_slowest_power_fraction
+from repro.experiments.report import format_table, pct
+from repro.experiments.runner import (
+    CONTROL_NONE,
+    SimulationSpec,
+    SimulationSummary,
+    baseline_spec,
+    cached_run,
+)
+from repro.experiments.scale import ExperimentScale, current_scale
+from repro.power.channel_models import IdealChannelPower, MeasuredChannelPower
+
+WORKLOADS = ("uniform", "advert", "search")
+
+
+@dataclass
+class WorkloadPowerRow:
+    """One workload's Figure 8 bars plus its references."""
+
+    workload: str
+    baseline_utilization: float        # == ideal proportional power
+    paired: SimulationSummary
+    independent: SimulationSummary
+
+    @property
+    def reduction_factor_ideal_independent(self) -> float:
+        """Power-reduction factor for ideal channels + independent control
+        (the paper's headline 6x for the trace workloads)."""
+        return 1.0 / self.independent.ideal_power_fraction
+
+
+@dataclass
+class Figure8Result:
+    rows_by_workload: Dict[str, WorkloadPowerRow]
+    always_slowest_measured: float
+    always_slowest_ideal: float
+
+    def rows(self) -> List[List[object]]:
+        """The result's data rows, matching ``format_table``'s columns."""
+        out = []
+        for name, row in self.rows_by_workload.items():
+            out.append([
+                name,
+                pct(row.paired.measured_power_fraction),
+                pct(row.independent.measured_power_fraction),
+                pct(row.paired.ideal_power_fraction),
+                pct(row.independent.ideal_power_fraction),
+                pct(row.baseline_utilization),
+            ])
+        return out
+
+    def format_chart(self) -> str:
+        """The two panels as grouped bar charts, like the paper's figure."""
+        from repro.experiments.charts import grouped_bar_chart
+        panels = []
+        for panel, attribute in (("(a) measured channels",
+                                  "measured_power_fraction"),
+                                 ("(b) ideal channels",
+                                  "ideal_power_fraction")):
+            groups = {
+                name: {
+                    "paired     ": getattr(row.paired, attribute),
+                    "independent": getattr(row.independent, attribute),
+                    "ideal      ": row.baseline_utilization,
+                }
+                for name, row in self.rows_by_workload.items()
+            }
+            panels.append(grouped_bar_chart(
+                groups, scale_max=1.0,
+                title=f"Figure 8{panel[1]}: percent of baseline power "
+                      f"{panel}"))
+        return "\n\n".join(panels)
+
+    def format_table(self) -> str:
+        """Render the result as an aligned text table."""
+        table = format_table(
+            ["Workload",
+             "(a) meas/paired", "(a) meas/indep",
+             "(b) ideal/paired", "(b) ideal/indep",
+             "ideal (avg util)"],
+            self.rows(),
+            title="Figure 8: network power vs full-rate baseline",
+        )
+        extras = [
+            f"Always-slowest reference: measured "
+            f"{pct(self.always_slowest_measured)}, ideal "
+            f"{pct(self.always_slowest_ideal)} (cannot carry offered load)",
+        ]
+        for name, row in self.rows_by_workload.items():
+            extras.append(
+                f"{name}: ideal-channel independent-control reduction "
+                f"{row.reduction_factor_ideal_independent:.1f}x")
+        return "\n".join([table] + extras + ["", self.format_chart()])
+
+
+def run(scale: Optional[ExperimentScale] = None) -> Figure8Result:
+    """Run the experiment and return its result object."""
+    scale = scale or current_scale()
+    rows: Dict[str, WorkloadPowerRow] = {}
+    for workload in WORKLOADS:
+        spec = SimulationSpec(
+            k=scale.k, n=scale.n, workload=workload,
+            duration_ns=scale.duration_ns,
+        )
+        baseline = cached_run(baseline_spec(spec))
+        paired = cached_run(spec)
+        independent = cached_run(replace(spec, independent_channels=True))
+        rows[workload] = WorkloadPowerRow(
+            workload=workload,
+            baseline_utilization=baseline.average_utilization,
+            paired=paired,
+            independent=independent,
+        )
+    return Figure8Result(
+        rows_by_workload=rows,
+        always_slowest_measured=always_slowest_power_fraction(
+            MeasuredChannelPower()),
+        always_slowest_ideal=always_slowest_power_fraction(
+            IdealChannelPower()),
+    )
+
+
+def main() -> None:
+    """CLI entry point: run the experiment and print its table."""
+    print(run().format_table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,131 @@
+"""Ablation: the two-dimensional lane ladder with asymmetric transitions.
+
+Compares the paper's evaluation configuration (scalar rate ladder, one
+conservative 1 µs reactivation for every transition) against the §5.2
+refinement (full InfiniBand lane x clock ladder, CDR-only re-locks at
+~100 ns, lane changes at ~2 µs, narrow-fast preferred over wide-slow).
+Reported per controller: power, added latency, reconfiguration count and
+the total time links spent stalled in reactivation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.controller import ControllerConfig, EpochController
+from repro.core.lane_controller import (
+    LaneAwareController,
+    LaneControllerConfig,
+)
+from repro.experiments.report import format_table, pct, us
+from repro.experiments.scale import ExperimentScale, current_scale
+from repro.power.channel_models import MeasuredChannelPower
+from repro.power.lanes import LaneModePower, ReactivationModel
+from repro.sim.network import FbflyNetwork, NetworkConfig
+from repro.sim.stats import NetworkStats
+from repro.topology.flattened_butterfly import FlattenedButterfly
+from repro.units import US
+from repro.workloads.synthetic_traces import search_workload
+
+
+@dataclass
+class LaneLadderRun:
+    name: str
+    stats: NetworkStats
+    power_fraction: float
+    reconfigurations: int
+    stall_ns_total: float
+
+
+@dataclass
+class LaneLadderResult:
+    runs: Dict[str, LaneLadderRun]
+    baseline_latency_ns: float
+
+    def rows(self) -> List[List[object]]:
+        """The result's data rows, matching ``format_table``'s columns."""
+        rows = []
+        for run in self.runs.values():
+            added = (run.stats.mean_message_latency_ns()
+                     - self.baseline_latency_ns)
+            rows.append([
+                run.name,
+                pct(run.power_fraction),
+                us(added),
+                run.reconfigurations,
+                us(run.stall_ns_total),
+                pct(run.stats.delivered_fraction()),
+            ])
+        return rows
+
+    def format_table(self) -> str:
+        """Render the result as an aligned text table."""
+        return format_table(
+            ["Controller", "Power (measured)", "Added latency",
+             "Reconfigs", "Total stall", "Delivered"],
+            self.rows(),
+            title="Scalar ladder vs lane-aware ladder "
+                  "(Search, independent channels)",
+        )
+
+
+def run(scale: Optional[ExperimentScale] = None,
+        seed: int = 1) -> LaneLadderResult:
+    """Run the experiment and return its result object."""
+    scale = scale or current_scale()
+    topology = FlattenedButterfly(k=scale.k, n=scale.n)
+    duration = scale.duration_ns
+    runs: Dict[str, LaneLadderRun] = {}
+
+    def simulate(label: str, attach):
+        network = FbflyNetwork(topology, NetworkConfig(seed=seed))
+        controller = attach(network)
+        workload = search_workload(topology.num_hosts, seed=seed)
+        network.attach_workload(workload.events(duration))
+        stats = network.run(until_ns=duration)
+        return network, controller, stats
+
+    # Full-rate baseline for the latency reference.
+    _, _, baseline = simulate("baseline", lambda net: None)
+
+    # Scalar ladder, one conservative reactivation (the paper's setup).
+    _, scalar_ctrl, scalar_stats = simulate(
+        "scalar", lambda net: EpochController(net, config=ControllerConfig(
+            independent_channels=True)))
+    runs["scalar 1us"] = LaneLadderRun(
+        name="scalar 1us",
+        stats=scalar_stats,
+        power_fraction=scalar_stats.power_fraction(MeasuredChannelPower()),
+        reconfigurations=scalar_ctrl.reconfigurations,
+        stall_ns_total=scalar_ctrl.reconfigurations * 1.0 * US,
+    )
+
+    # Lane-aware ladder with asymmetric transition costs.
+    _, lane_ctrl, lane_stats = simulate(
+        "lane-aware",
+        lambda net: LaneAwareController(net, LaneControllerConfig(
+            epoch_ns=10.0 * US,
+            reactivation=ReactivationModel(),
+            independent_channels=True)))
+    runs["lane-aware"] = LaneLadderRun(
+        name="lane-aware",
+        stats=lane_stats,
+        power_fraction=lane_stats.power_fraction(LaneModePower()),
+        reconfigurations=lane_ctrl.reconfigurations,
+        stall_ns_total=lane_ctrl.reconfiguration_stall_ns,
+    )
+
+    return LaneLadderResult(
+        runs=runs,
+        baseline_latency_ns=baseline.mean_message_latency_ns(),
+    )
+
+
+def main() -> None:
+    """CLI entry point: run the experiment and print its table."""
+    print(run().format_table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""Section 2.1.1: over-subscription as a power/performance trade.
+
+"While we argue for high performance datacenter networks with little
+over-subscription, the technique remains a practical and pragmatic
+approach to reduce power (as well as capital expenditures), especially
+when the level of over-subscription is modest."
+
+Holding the switch fabric fixed (same k, n — same switches and
+inter-switch links) and growing the concentration c packs more hosts
+onto it: network power *per host* falls as 1/c on the switch side, but
+the bisection per host falls as k/c, so a load that the balanced build
+carries comfortably saturates the over-subscribed one.  This experiment
+sweeps c at two offered loads and reports both sides of the trade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.experiments.report import format_table, pct, us
+from repro.experiments.scale import ExperimentScale, current_scale
+from repro.power.cluster import ClusterPowerModel
+from repro.sim.network import FbflyNetwork, NetworkConfig
+from repro.topology.flattened_butterfly import FlattenedButterfly
+from repro.workloads.uniform import UniformRandomWorkload
+
+OFFERED_LOADS = (0.1, 0.4)
+
+
+@dataclass
+class OversubscriptionPoint:
+    c: int
+    oversubscription: float
+    num_hosts: int
+    network_watts_per_host: float
+    offered_load: float
+    delivered_fraction: float
+    mean_latency_ns: float
+
+
+@dataclass
+class OversubscriptionResult:
+    points: List[OversubscriptionPoint]
+
+    def rows(self) -> List[List[object]]:
+        """The result's data rows, matching ``format_table``'s columns."""
+        return [
+            [f"c={p.c}", f"{p.oversubscription:g}:1", p.num_hosts,
+             f"{p.network_watts_per_host:.1f} W",
+             f"{p.offered_load:.0%}",
+             pct(p.delivered_fraction),
+             us(p.mean_latency_ns)]
+            for p in self.points
+        ]
+
+    def format_table(self) -> str:
+        """Render the result as an aligned text table."""
+        return format_table(
+            ["Concentration", "Over-sub", "Hosts", "Net W/host",
+             "Offered", "Delivered", "Mean latency"],
+            self.rows(),
+            title="Section 2.1.1: over-subscription sweep "
+                  "(uniform traffic, fixed switch fabric)",
+        )
+
+
+def run(scale: Optional[ExperimentScale] = None, seed: int = 1,
+        offered_loads: Sequence[float] = OFFERED_LOADS,
+        ) -> OversubscriptionResult:
+    """Run the experiment and return its result object."""
+    scale = scale or current_scale()
+    power_model = ClusterPowerModel()
+    concentrations = (scale.k, scale.k * 3 // 2, scale.k * 2)
+    points: List[OversubscriptionPoint] = []
+    for c in concentrations:
+        topology = FlattenedButterfly(k=scale.k, n=scale.n, c=c)
+        watts_per_host = (power_model.network_power(topology).total_watts
+                          / topology.num_hosts)
+        for load in offered_loads:
+            network = FbflyNetwork(topology, NetworkConfig(seed=seed))
+            workload = UniformRandomWorkload(
+                topology.num_hosts, offered_load=load,
+                message_bytes=64 * 1024, seed=seed,
+                line_rate_gbps=network.config.ladder.max_rate)
+            network.attach_workload(
+                workload.events(0.7 * scale.duration_ns))
+            stats = network.run(until_ns=scale.duration_ns)
+            points.append(OversubscriptionPoint(
+                c=c,
+                oversubscription=topology.oversubscription,
+                num_hosts=topology.num_hosts,
+                network_watts_per_host=watts_per_host,
+                offered_load=load,
+                delivered_fraction=stats.delivered_fraction(),
+                mean_latency_ns=stats.mean_message_latency_ns(),
+            ))
+    return OversubscriptionResult(points=points)
+
+
+def main() -> None:
+    """CLI entry point: run the experiment and print its table."""
+    print(run().format_table())
+
+
+if __name__ == "__main__":
+    main()

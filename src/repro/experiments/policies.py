@@ -1,0 +1,85 @@
+"""Section 5.2 ablation: better heuristics.
+
+Compares the paper's one-step threshold policy against the extensions it
+sketches — aggressive min/max jumps, a hysteresis dead band, and a
+predictive EWMA policy — on the same workload, with independent channel
+control.  Reported per policy: network power (measured and ideal
+channels), added mean latency vs baseline, and reconfiguration count
+(the meta-stability indicator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.report import format_table, pct, us
+from repro.experiments.runner import (
+    SimulationSpec,
+    SimulationSummary,
+    baseline_spec,
+    cached_run,
+)
+from repro.experiments.scale import ExperimentScale, current_scale
+
+POLICIES = ("threshold", "aggressive", "hysteresis", "predictive")
+
+
+@dataclass
+class PoliciesResult:
+    workload: str
+    baseline: SimulationSummary
+    by_policy: Dict[str, SimulationSummary]
+
+    def rows(self) -> List[List[object]]:
+        """The result's data rows, matching ``format_table``'s columns."""
+        rows = []
+        for name, summary in self.by_policy.items():
+            added = (summary.mean_message_latency_ns
+                     - self.baseline.mean_message_latency_ns)
+            rows.append([
+                name,
+                pct(summary.measured_power_fraction),
+                pct(summary.ideal_power_fraction),
+                us(added),
+                summary.reconfigurations,
+            ])
+        return rows
+
+    def format_table(self) -> str:
+        """Render the result as an aligned text table."""
+        return format_table(
+            ["Policy", "Power (measured)", "Power (ideal)",
+             "Added latency", "Reconfigs"],
+            self.rows(),
+            title=f"Section 5.2 policy ablation ({self.workload}, "
+                  "independent channels)",
+        )
+
+
+def run(scale: Optional[ExperimentScale] = None,
+        workload: str = "search",
+        policies: Sequence[str] = POLICIES) -> PoliciesResult:
+    """Run the experiment and return its result object."""
+    scale = scale or current_scale()
+    base = SimulationSpec(
+        k=scale.k, n=scale.n, workload=workload,
+        duration_ns=scale.duration_ns,
+        independent_channels=True,
+    )
+    baseline = cached_run(baseline_spec(base))
+    by_policy = {
+        policy: cached_run(replace(base, policy=policy))
+        for policy in policies
+    }
+    return PoliciesResult(workload=workload, baseline=baseline,
+                          by_policy=by_policy)
+
+
+def main() -> None:
+    """CLI entry point: run the experiment and print its table."""
+    print(run().format_table())
+
+
+if __name__ == "__main__":
+    main()

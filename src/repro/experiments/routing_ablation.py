@@ -1,0 +1,114 @@
+"""Ablation: adaptive routing is load-bearing for energy proportionality.
+
+Section 3.3: "When links are undergoing reactivation, we do not
+explicitly remove them from the set of legal output ports, but rather
+rely on the adaptive routing mechanism to sense congestion and
+automatically route traffic around the link."  Section 5.3 promotes the
+same point to a requirement for future switch chips.
+
+This experiment removes that mechanism: the same epoch controller runs
+over minimal adaptive routing (queue-depth choice among all unresolved
+dimensions) and over deterministic dimension-order routing (no choice at
+all), across two reactivation latencies.  At the paper's 1 µs the
+penalty is dominated by serialization at the detuned rates and the two
+routings look alike; at 10 µs — where packets pile up behind stalled
+links — adaptive routing's ability to drain around them shows up as
+several points of *delivered throughput* (mean latency alone is
+misleading here: it is computed over delivered messages, so a routing
+that strands more traffic can report a lower mean).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.controller import ControllerConfig, EpochController
+from repro.experiments.report import format_table, pct, us
+from repro.experiments.scale import ExperimentScale, current_scale
+from repro.power.channel_models import MeasuredChannelPower
+from repro.routing.dimension_order import DimensionOrderRouting
+from repro.sim.network import FbflyNetwork, NetworkConfig
+from repro.sim.stats import NetworkStats
+from repro.topology.flattened_butterfly import FlattenedButterfly
+from repro.units import US
+from repro.workloads.synthetic_traces import search_workload
+
+REACTIVATIONS_NS = (1_000.0, 10_000.0)
+
+
+@dataclass
+class RoutingPoint:
+    routing: str
+    reactivation_ns: float
+    stats: NetworkStats
+
+
+@dataclass
+class RoutingAblationResult:
+    points: Dict[Tuple[str, float], RoutingPoint]
+    reactivations_ns: Tuple[float, ...]
+
+    def delivered(self, routing: str, reactivation_ns: float) -> float:
+        """Delivered fraction for a (routing, reactivation) cell."""
+        return self.points[(routing, reactivation_ns)]\
+            .stats.delivered_fraction()
+
+    def rows(self) -> List[List[object]]:
+        """The result's data rows, matching ``format_table``'s columns."""
+        rows = []
+        for (routing, react), point in self.points.items():
+            stats = point.stats
+            rows.append([
+                routing,
+                us(react, 0),
+                pct(stats.power_fraction(MeasuredChannelPower())),
+                pct(stats.delivered_fraction()),
+                us(stats.mean_message_latency_ns()),
+                us(stats.message_latency_percentile_ns(99.0)),
+            ])
+        return rows
+
+    def format_table(self) -> str:
+        """Render the result as an aligned text table."""
+        return format_table(
+            ["Routing", "Reactivation", "Power (measured)", "Delivered",
+             "Mean latency", "p99 latency"],
+            self.rows(),
+            title="Routing ablation under rate scaling "
+                  "(Search, independent channels)",
+        )
+
+
+def run(scale: Optional[ExperimentScale] = None, seed: int = 1,
+        reactivations_ns: Tuple[float, ...] = REACTIVATIONS_NS,
+        ) -> RoutingAblationResult:
+    """Run the experiment and return its result object."""
+    scale = scale or current_scale()
+    topology = FlattenedButterfly(k=scale.k, n=scale.n)
+    duration = scale.duration_ns
+    points: Dict[Tuple[str, float], RoutingPoint] = {}
+    for routing_name, factory in (("adaptive", None),
+                                  ("dimension-order",
+                                   DimensionOrderRouting)):
+        for react in reactivations_ns:
+            network = FbflyNetwork(topology, NetworkConfig(seed=seed),
+                                   routing_factory=factory)
+            EpochController(network, config=ControllerConfig(
+                independent_channels=True, reactivation_ns=react))
+            workload = search_workload(topology.num_hosts, seed=seed)
+            network.attach_workload(workload.events(0.7 * duration))
+            stats = network.run(until_ns=duration)
+            points[(routing_name, react)] = RoutingPoint(
+                routing=routing_name, reactivation_ns=react, stats=stats)
+    return RoutingAblationResult(points=points,
+                                 reactivations_ns=tuple(reactivations_ns))
+
+
+def main() -> None:
+    """CLI entry point: run the experiment and print its table."""
+    print(run().format_table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,177 @@
+"""Shared simulation runner for the figure experiments.
+
+Figures 7-9 are all built from the same kind of run: a workload over an
+FBFLY, optionally under an epoch controller, summarized into power and
+latency numbers.  :func:`cached_run` memoizes runs by spec so that, e.g.,
+the baseline run of a workload is shared by every figure needing it in
+one process.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.controller import ControllerConfig, EpochController
+from repro.core.policies import (
+    AggressivePolicy,
+    HysteresisPolicy,
+    PredictivePolicy,
+    RatePolicy,
+    ThresholdPolicy,
+)
+from repro.power.channel_models import IdealChannelPower, MeasuredChannelPower
+from repro.sim.network import FbflyNetwork, NetworkConfig
+from repro.topology.flattened_butterfly import FlattenedButterfly
+from repro.units import US
+from repro.workloads.synthetic_traces import advert_workload, search_workload
+from repro.workloads.uniform import UniformRandomWorkload
+
+#: Control modes for a run.
+CONTROL_NONE = "none"              # baseline: all links at full rate
+CONTROL_EPOCH = "epoch"            # the paper's epoch controller
+CONTROL_ALWAYS_SLOWEST = "always_slowest"  # pinned to the minimum rate
+
+_POLICIES = {
+    "threshold": ThresholdPolicy,
+    "hysteresis": lambda target: HysteresisPolicy(
+        low=max(0.05, target - 0.2), high=min(0.95, target + 0.2)),
+    "aggressive": AggressivePolicy,
+    "predictive": PredictivePolicy,
+}
+
+
+@dataclass(frozen=True)
+class SimulationSpec:
+    """Everything needed to reproduce one simulation run.
+
+    Frozen and hashable so runs can be memoized.
+    """
+
+    k: int = 4
+    n: int = 3
+    workload: str = "search"        # uniform | search | advert
+    duration_ns: float = 2_000_000.0
+    seed: int = 1
+    control: str = CONTROL_EPOCH
+    policy: str = "threshold"
+    target_utilization: float = 0.5
+    reactivation_ns: float = 1.0 * US
+    epoch_ns: Optional[float] = None     # None -> 10x reactivation
+    independent_channels: bool = False
+    uniform_offered_load: float = 0.25
+
+    def build_topology(self) -> FlattenedButterfly:
+        """Construct the FBFLY this spec describes."""
+        return FlattenedButterfly(k=self.k, n=self.n)
+
+    def build_workload(self, num_hosts: int, line_rate_gbps: float):
+        """Construct the spec's workload for a host count."""
+        if self.workload == "uniform":
+            return UniformRandomWorkload(
+                num_hosts, offered_load=self.uniform_offered_load,
+                line_rate_gbps=line_rate_gbps, seed=self.seed)
+        if self.workload == "search":
+            return search_workload(num_hosts, seed=self.seed,
+                                   line_rate_gbps=line_rate_gbps)
+        if self.workload == "advert":
+            return advert_workload(num_hosts, seed=self.seed,
+                                   line_rate_gbps=line_rate_gbps)
+        raise ValueError(f"unknown workload {self.workload!r}")
+
+    def build_policy(self) -> RatePolicy:
+        """Construct the spec's rate policy instance."""
+        try:
+            factory = _POLICIES[self.policy]
+        except KeyError:
+            raise ValueError(f"unknown policy {self.policy!r}") from None
+        return factory(self.target_utilization)
+
+
+@dataclass
+class SimulationSummary:
+    """Digest of one run — every number the figures report.
+
+    Power fractions are relative to the always-full-rate baseline
+    (Figure 8's metric); ``time_at_rate`` is the Figure 7 histogram.
+    """
+
+    spec: SimulationSpec
+    average_utilization: float
+    measured_power_fraction: float
+    ideal_power_fraction: float
+    mean_message_latency_ns: float
+    p99_message_latency_ns: float
+    mean_packet_latency_ns: float
+    delivered_fraction: float
+    messages_delivered: int
+    escapes: int
+    reconfigurations: int
+    time_at_rate: Dict[Optional[float], float] = field(default_factory=dict)
+    events_fired: int = 0
+    wall_seconds: float = 0.0
+
+
+def run_simulation(spec: SimulationSpec) -> SimulationSummary:
+    """Execute one run described by ``spec`` and summarize it."""
+    started = time.perf_counter()
+    topology = spec.build_topology()
+    net_config = NetworkConfig(seed=spec.seed)
+    if spec.control == CONTROL_ALWAYS_SLOWEST:
+        net_config = NetworkConfig(
+            seed=spec.seed, initial_rate_gbps=net_config.ladder.min_rate)
+    network = FbflyNetwork(topology, net_config)
+
+    controller = None
+    if spec.control == CONTROL_EPOCH:
+        controller = EpochController(
+            network,
+            policy=spec.build_policy(),
+            config=ControllerConfig(
+                epoch_ns=spec.epoch_ns,
+                reactivation_ns=spec.reactivation_ns,
+                independent_channels=spec.independent_channels,
+            ),
+        )
+    elif spec.control not in (CONTROL_NONE, CONTROL_ALWAYS_SLOWEST):
+        raise ValueError(f"unknown control mode {spec.control!r}")
+
+    workload = spec.build_workload(
+        topology.num_hosts, net_config.ladder.max_rate)
+    network.attach_workload(workload.events(spec.duration_ns))
+    stats = network.run(until_ns=spec.duration_ns)
+
+    return SimulationSummary(
+        spec=spec,
+        average_utilization=stats.average_utilization(),
+        measured_power_fraction=stats.power_fraction(MeasuredChannelPower()),
+        ideal_power_fraction=stats.power_fraction(IdealChannelPower()),
+        mean_message_latency_ns=stats.mean_message_latency_ns(),
+        p99_message_latency_ns=stats.message_latency_percentile_ns(99.0),
+        mean_packet_latency_ns=stats.mean_packet_latency_ns(),
+        delivered_fraction=stats.delivered_fraction(),
+        messages_delivered=stats.messages_delivered,
+        escapes=stats.escapes,
+        reconfigurations=(controller.reconfigurations if controller else 0),
+        time_at_rate=stats.time_at_rate_fractions(),
+        events_fired=network.sim.events_fired,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+@functools.lru_cache(maxsize=128)
+def cached_run(spec: SimulationSpec) -> SimulationSummary:
+    """Memoized :func:`run_simulation` (specs are frozen dataclasses)."""
+    return run_simulation(spec)
+
+
+def baseline_spec(spec: SimulationSpec) -> SimulationSpec:
+    """The full-rate baseline twin of a controlled spec."""
+    return SimulationSpec(
+        k=spec.k, n=spec.n, workload=spec.workload,
+        duration_ns=spec.duration_ns, seed=spec.seed,
+        control=CONTROL_NONE,
+        uniform_offered_load=spec.uniform_offered_load,
+    )

@@ -1,0 +1,117 @@
+"""Ablation: congestion sensors for the rate-decision input (§3.2/§3.3).
+
+The paper argues channel utilization alone is a sufficient demand
+estimator because "utilization effectively captures both" data
+availability and credit state.  This experiment runs the same epoch
+controller with each estimator — utilization, queue occupancy, a
+credit-stall-aware variant, and a composite — and compares power,
+latency and reconfiguration churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.controller import ControllerConfig, EpochController
+from repro.core.sensors import (
+    CompositeSensor,
+    CreditStallSensor,
+    QueueOccupancySensor,
+    UtilizationSensor,
+)
+from repro.experiments.report import format_table, pct, us
+from repro.experiments.scale import ExperimentScale, current_scale
+from repro.power.channel_models import IdealChannelPower, MeasuredChannelPower
+from repro.sim.network import FbflyNetwork, NetworkConfig
+from repro.sim.stats import NetworkStats
+from repro.topology.flattened_butterfly import FlattenedButterfly
+from repro.workloads.synthetic_traces import search_workload
+
+
+def default_sensors() -> Dict[str, object]:
+    """The sensor set the ablation compares."""
+    return {
+        "utilization": UtilizationSensor(),
+        "queue-occupancy": QueueOccupancySensor(),
+        "credit-stall": CreditStallSensor(),
+        "composite": CompositeSensor(
+            [UtilizationSensor(), QueueOccupancySensor()]),
+    }
+
+
+@dataclass
+class SensorRun:
+    name: str
+    stats: NetworkStats
+    reconfigurations: int
+
+
+@dataclass
+class SensorsResult:
+    baseline: NetworkStats
+    runs: Dict[str, SensorRun]
+
+    def rows(self) -> List[List[object]]:
+        """The result's data rows, matching ``format_table``'s columns."""
+        rows = []
+        for run in self.runs.values():
+            added = (run.stats.mean_message_latency_ns()
+                     - self.baseline.mean_message_latency_ns())
+            rows.append([
+                run.name,
+                pct(run.stats.power_fraction(MeasuredChannelPower())),
+                pct(run.stats.power_fraction(IdealChannelPower())),
+                us(added),
+                run.reconfigurations,
+                pct(run.stats.delivered_fraction()),
+            ])
+        return rows
+
+    def format_table(self) -> str:
+        """Render the result as an aligned text table."""
+        return format_table(
+            ["Sensor", "Power (measured)", "Power (ideal)",
+             "Added latency", "Reconfigs", "Delivered"],
+            self.rows(),
+            title="Congestion-sensor ablation "
+                  "(Search, independent channels)",
+        )
+
+
+def run(scale: Optional[ExperimentScale] = None,
+        seed: int = 1) -> SensorsResult:
+    """Run the experiment and return its result object."""
+    scale = scale or current_scale()
+    topology = FlattenedButterfly(k=scale.k, n=scale.n)
+    duration = scale.duration_ns
+
+    def simulate(sensor=None, controlled=True):
+        network = FbflyNetwork(topology, NetworkConfig(seed=seed))
+        controller = None
+        if controlled:
+            controller = EpochController(
+                network,
+                config=ControllerConfig(independent_channels=True),
+                sensor=sensor)
+        workload = search_workload(topology.num_hosts, seed=seed)
+        network.attach_workload(workload.events(duration))
+        stats = network.run(until_ns=duration)
+        return stats, controller
+
+    baseline, _ = simulate(controlled=False)
+    runs: Dict[str, SensorRun] = {}
+    for name, sensor in default_sensors().items():
+        stats, controller = simulate(sensor=sensor)
+        runs[name] = SensorRun(name=name, stats=stats,
+                               reconfigurations=controller.reconfigurations)
+    return SensorsResult(baseline=baseline, runs=runs)
+
+
+def main() -> None:
+    """CLI entry point: run the experiment and print its table."""
+    print(run().format_table())
+
+
+if __name__ == "__main__":
+    main()

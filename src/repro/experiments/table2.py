@@ -1,0 +1,43 @@
+"""Table 2: InfiniBand support for multiple data rates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.experiments.report import format_table
+from repro.power.link_rates import INFINIBAND_RATES, InfiniBandRate
+
+
+@dataclass
+class Table2Result:
+    rates: Tuple[InfiniBandRate, ...]
+
+    def rows(self) -> List[List[object]]:
+        """The result's data rows, matching ``format_table``'s columns."""
+        return [
+            [r.name, r.lanes, f"{r.gbps_per_lane:g} Gb/s", f"{r.gbps:g} Gb/s"]
+            for r in self.rates
+        ]
+
+    def format_table(self) -> str:
+        """Render the result as an aligned text table."""
+        return format_table(
+            ["Name", "Lanes", "Per-lane rate", "Data rate"],
+            self.rows(),
+            title="Table 2: InfiniBand support for multiple data rates",
+        )
+
+
+def run() -> Table2Result:
+    """Run the experiment and return its result object."""
+    return Table2Result(rates=INFINIBAND_RATES)
+
+
+def main() -> None:
+    """CLI entry point: run the experiment and print its table."""
+    print(run().format_table())
+
+
+if __name__ == "__main__":
+    main()

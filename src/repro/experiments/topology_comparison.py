@@ -1,0 +1,131 @@
+"""Section 3.2 ablation: rate scaling on a folded-Clos vs on the FBFLY.
+
+The paper claims the mechanisms apply to other topologies "such as a
+folded-Clos", but argues the FBFLY is the better host for them (its
+adaptive routing already senses congestion, and link-speed decisions are
+purely local).  This experiment measures both fabrics with the same
+epoch controller, the same channel hardware and a same-size workload:
+
+- a flattened butterfly with minimal adaptive routing, and
+- a three-level fat tree with up/down adaptive routing,
+
+reporting power (both channel models), added latency vs each fabric's
+own full-rate baseline, and delivered throughput.  The workload injects
+for 70% of the horizon and the fabric drains for the remainder, so
+delivered fractions compare capacity rather than cutoff artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.controller import ControllerConfig, EpochController
+from repro.experiments.report import format_table, pct, us
+from repro.experiments.scale import ExperimentScale, current_scale
+from repro.power.channel_models import IdealChannelPower, MeasuredChannelPower
+from repro.sim.clos_network import FatTreeNetwork
+from repro.sim.network import FbflyNetwork, NetworkConfig
+from repro.sim.stats import NetworkStats
+from repro.topology.fat_tree import FatTree
+from repro.topology.flattened_butterfly import FlattenedButterfly
+from repro.workloads.synthetic_traces import search_workload
+
+#: Fraction of the horizon during which the workload injects.
+_INJECT_FRACTION = 0.7
+
+
+@dataclass
+class FabricRun:
+    """Baseline + controlled stats for one fabric."""
+
+    name: str
+    num_hosts: int
+    num_switches: int
+    baseline: NetworkStats
+    controlled: NetworkStats
+
+    @property
+    def added_latency_ns(self) -> float:
+        """Controlled-minus-baseline mean latency, ns."""
+        return (self.controlled.mean_message_latency_ns()
+                - self.baseline.mean_message_latency_ns())
+
+
+@dataclass
+class TopologyComparisonResult:
+    fabrics: Dict[str, FabricRun]
+
+    def rows(self) -> List[List[object]]:
+        """The result's data rows, matching ``format_table``'s columns."""
+        rows = []
+        for run in self.fabrics.values():
+            rows.append([
+                run.name,
+                f"{run.num_hosts} hosts / {run.num_switches} sw",
+                pct(run.controlled.power_fraction(MeasuredChannelPower())),
+                pct(run.controlled.power_fraction(IdealChannelPower())),
+                us(run.added_latency_ns),
+                pct(run.controlled.delivered_fraction()),
+            ])
+        return rows
+
+    def format_table(self) -> str:
+        """Render the result as an aligned text table."""
+        return format_table(
+            ["Fabric", "Size", "Power (measured)", "Power (ideal)",
+             "Added latency", "Delivered"],
+            self.rows(),
+            title="Rate scaling on FBFLY vs folded-Clos (Search, "
+                  "independent channels)",
+        )
+
+
+def _build_fabrics(scale: ExperimentScale, seed: int):
+    """Size-matched fabrics: the FBFLY of the scale, and the largest fat
+    tree with no more hosts."""
+    fbfly_topo = FlattenedButterfly(k=scale.k, n=scale.n)
+    radix = 4
+    while (radix + 2) ** 3 // 4 <= fbfly_topo.num_hosts:
+        radix += 2
+    return {
+        "fbfly": lambda: FbflyNetwork(fbfly_topo, NetworkConfig(seed=seed)),
+        "fat-tree": lambda: FatTreeNetwork(
+            FatTree(radix), NetworkConfig(seed=seed)),
+    }
+
+
+def run(scale: Optional[ExperimentScale] = None,
+        seed: int = 1) -> TopologyComparisonResult:
+    """Run the experiment and return its result object."""
+    scale = scale or current_scale()
+    fabrics: Dict[str, FabricRun] = {}
+    for name, build in _build_fabrics(scale, seed).items():
+        runs = {}
+        for controlled in (False, True):
+            network = build()
+            if controlled:
+                EpochController(network, config=ControllerConfig(
+                    independent_channels=True))
+            workload = search_workload(network.topology.num_hosts,
+                                       seed=seed)
+            network.attach_workload(
+                workload.events(_INJECT_FRACTION * scale.duration_ns))
+            runs[controlled] = network.run(until_ns=scale.duration_ns)
+        fabrics[name] = FabricRun(
+            name=name,
+            num_hosts=network.topology.num_hosts,
+            num_switches=network.topology.num_switches,
+            baseline=runs[False],
+            controlled=runs[True],
+        )
+    return TopologyComparisonResult(fabrics=fabrics)
+
+
+def main() -> None:
+    """CLI entry point: run the experiment and print its table."""
+    print(run().format_table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Power substrate: link-rate ladders, switch-chip power profiles,
+channel power models, cluster-level roll-ups and energy cost.
+
+This package implements every power number the paper uses:
+
+- :mod:`repro.power.link_rates` — the InfiniBand data-rate ladder (Table 2)
+  and the five-step rate ladder used by the simulator.
+- :mod:`repro.power.serdes` — the per-SerDes power model behind the paper's
+  "each switch consumes 100 W" assumption.
+- :mod:`repro.power.switch_profile` — the dynamic-range profile of a
+  commercial switch chip (Figure 5).
+- :mod:`repro.power.channel_models` — per-channel power as a function of
+  configured rate: measured (Figure 5) and ideally proportional.
+- :mod:`repro.power.cluster` — cluster-level power (Figure 1, Table 1).
+- :mod:`repro.power.cost` — electricity cost over a service lifetime.
+- :mod:`repro.power.itrs` — the ITRS bandwidth-trend series (Figure 6).
+"""
+
+from repro.power.link_rates import (
+    InfiniBandRate,
+    INFINIBAND_RATES,
+    RateLadder,
+    DEFAULT_RATE_LADDER,
+)
+from repro.power.serdes import SerDesPowerModel, SwitchChipPowerModel
+from repro.power.switch_profile import (
+    LinkMedium,
+    SwitchDynamicRangeProfile,
+    INFINIBAND_SWITCH_PROFILE,
+)
+from repro.power.channel_models import (
+    ChannelPowerModel,
+    MeasuredChannelPower,
+    IdealChannelPower,
+    ConstantChannelPower,
+    MediumAwareChannelPower,
+)
+from repro.power.cluster import ClusterPowerModel, ClusterPowerBreakdown
+from repro.power.cost import EnergyCostModel
+from repro.power.capex import CapexModel, DEFAULT_CAPEX_MODEL
+from repro.power.lanes import (
+    LaneConfig,
+    LaneLadder,
+    LaneModePower,
+    ReactivationModel,
+    INFINIBAND_LANE_LADDER,
+)
+
+__all__ = [
+    "InfiniBandRate",
+    "INFINIBAND_RATES",
+    "RateLadder",
+    "DEFAULT_RATE_LADDER",
+    "SerDesPowerModel",
+    "SwitchChipPowerModel",
+    "LinkMedium",
+    "SwitchDynamicRangeProfile",
+    "INFINIBAND_SWITCH_PROFILE",
+    "ChannelPowerModel",
+    "MeasuredChannelPower",
+    "IdealChannelPower",
+    "ConstantChannelPower",
+    "MediumAwareChannelPower",
+    "ClusterPowerModel",
+    "ClusterPowerBreakdown",
+    "EnergyCostModel",
+    "CapexModel",
+    "DEFAULT_CAPEX_MODEL",
+    "LaneConfig",
+    "LaneLadder",
+    "LaneModePower",
+    "ReactivationModel",
+    "INFINIBAND_LANE_LADDER",
+]

@@ -1,0 +1,68 @@
+"""Capital-expenditure model for the topology comparison.
+
+Section 2.2: optical transceivers "tend to dominate the capital
+expenditure of the interconnect", and the FBFLY's packaging locality
+converts a large share of links to passive copper.  The paper defers the
+detailed comparison to the flattened-butterfly paper [15]; this module
+implements the standard first-order model so the capex story can be
+reported next to the opex (energy) story.
+
+Prices default to late-2000s list-price magnitudes (the paper's era);
+they are inputs, not conclusions — the structural result (the FBFLY
+needs ~35% fewer optical links and half the chips) holds for any
+positive prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology.base import Topology
+
+
+@dataclass(frozen=True)
+class CapexModel:
+    """First-order interconnect capital cost.
+
+    Attributes:
+        switch_chip_dollars: Cost per switch chip (incl. board share).
+        optical_link_dollars: Cost per optical link — two transceivers
+            plus fibre.
+        electrical_link_dollars: Cost per passive copper cable.
+        nic_dollars: Cost per host NIC.
+    """
+
+    switch_chip_dollars: float = 500.0
+    optical_link_dollars: float = 400.0
+    electrical_link_dollars: float = 30.0
+    nic_dollars: float = 100.0
+
+    def __post_init__(self) -> None:
+        for name in ("switch_chip_dollars", "optical_link_dollars",
+                     "electrical_link_dollars", "nic_dollars"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def interconnect_cost(self, topology: Topology) -> float:
+        """Total interconnect capex for a topology build."""
+        parts = topology.part_counts()
+        return (parts.switch_chips * self.switch_chip_dollars
+                + parts.optical_links * self.optical_link_dollars
+                + parts.electrical_links * self.electrical_link_dollars
+                + topology.num_hosts * self.nic_dollars)
+
+    def optical_share(self, topology: Topology) -> float:
+        """Fraction of interconnect capex spent on optics."""
+        parts = topology.part_counts()
+        optics = parts.optical_links * self.optical_link_dollars
+        total = self.interconnect_cost(topology)
+        return optics / total if total else 0.0
+
+    def savings(self, baseline: Topology, alternative: Topology) -> float:
+        """Capex saved by building ``alternative`` instead of ``baseline``."""
+        return (self.interconnect_cost(baseline)
+                - self.interconnect_cost(alternative))
+
+
+#: Default price book used by examples and tests.
+DEFAULT_CAPEX_MODEL = CapexModel()

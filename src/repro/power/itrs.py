@@ -1,0 +1,45 @@
+"""ITRS bandwidth-trend series (Figure 6).
+
+Figure 6 is a context figure: the International Technology Roadmap for
+Semiconductors projects aggregate switch-package I/O bandwidth, off-chip
+signalling rate and package pin count over time, motivating the claim
+that chip power will be increasingly dominated by I/O.  The figure's
+annotated points (160 Tb/s aggregate I/O and ~70 Gb/s off-chip clocks by
+the 2020s) anchor a simple exponential fit that we expose as data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class ItrsPoint:
+    """One projected year of the ITRS roadmap."""
+
+    year: int
+    io_bandwidth_tbps: float
+    offchip_clock_gbps: float
+    package_pins_thousands: float
+
+
+#: Exponential interpolation anchored to the figure's 2008 starting point
+#: and its called-out 160 Tb/s / 70 Gb/s endpoints.
+ITRS_SERIES: Tuple[ItrsPoint, ...] = (
+    ItrsPoint(2008, io_bandwidth_tbps=2.0, offchip_clock_gbps=10.0,
+              package_pins_thousands=1.5),
+    ItrsPoint(2013, io_bandwidth_tbps=8.0, offchip_clock_gbps=20.0,
+              package_pins_thousands=2.2),
+    ItrsPoint(2018, io_bandwidth_tbps=36.0, offchip_clock_gbps=39.0,
+              package_pins_thousands=3.1),
+    ItrsPoint(2023, io_bandwidth_tbps=160.0, offchip_clock_gbps=70.0,
+              package_pins_thousands=4.4),
+)
+
+
+def bandwidth_cagr() -> float:
+    """Compound annual growth rate of aggregate I/O bandwidth."""
+    first, last = ITRS_SERIES[0], ITRS_SERIES[-1]
+    years = last.year - first.year
+    return (last.io_bandwidth_tbps / first.io_bandwidth_tbps) ** (1.0 / years) - 1.0

@@ -1,0 +1,77 @@
+"""From simulated power fractions to watts and dollars.
+
+The paper's headline claims convert the simulator's relative power
+numbers into operating expense at the 32k-host scale ("If we
+extrapolate this reduction to our full-scale network presented in
+Section 2.2, the potential additional four-year energy savings is
+$2.5M").  This module implements that projection:
+
+- :class:`NetworkEnergyBudget` — a full-scale network whose link power
+  (the dynamic-range-capable part) scales with a measured power
+  fraction, while NICs stay at their fixed budget;
+- :func:`project_savings` — the dollars a measured power fraction is
+  worth over a service life.
+
+The chip split follows Section 2.2: each 36-port chip's 100 W is almost
+entirely SerDes ("each of 144 SerDes consume ~0.7 Watts"), so the whole
+switch budget is treated as rate-scalable link power; host NICs (10 W
+each) are assumed to detune with their host links when those links are
+tunable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power.cost import EnergyCostModel
+from repro.power.cluster import ClusterPowerModel
+from repro.topology.base import Topology
+
+
+@dataclass(frozen=True)
+class NetworkEnergyBudget:
+    """Watt-scale budget of one full network build.
+
+    Attributes:
+        switch_watts: Aggregate switch-chip power at full rate.
+        nic_watts: Aggregate NIC power at full rate.
+        nics_scale: Whether NIC power follows the host links' power
+            fraction (True when host links are tunable).
+    """
+
+    switch_watts: float
+    nic_watts: float
+    nics_scale: bool = True
+
+    @classmethod
+    def for_topology(cls, topology: Topology,
+                     power_model: ClusterPowerModel = ClusterPowerModel(),
+                     nics_scale: bool = True) -> "NetworkEnergyBudget":
+        breakdown = power_model.network_power(topology)
+        return cls(switch_watts=breakdown.switch_watts,
+                   nic_watts=breakdown.nic_watts,
+                   nics_scale=nics_scale)
+
+    @property
+    def full_watts(self) -> float:
+        """Power of the whole network at full rate, in watts."""
+        return self.switch_watts + self.nic_watts
+
+    def watts_at(self, power_fraction: float) -> float:
+        """Network watts when links run at ``power_fraction`` of full."""
+        if power_fraction < 0:
+            raise ValueError(
+                f"power fraction cannot be negative: {power_fraction}")
+        scaled_nics = (self.nic_watts * power_fraction
+                       if self.nics_scale else self.nic_watts)
+        return self.switch_watts * power_fraction + scaled_nics
+
+
+def project_savings(
+    power_fraction: float,
+    budget: NetworkEnergyBudget,
+    cost_model: EnergyCostModel = EnergyCostModel(),
+) -> float:
+    """Lifetime dollars saved by running at ``power_fraction`` of full."""
+    return cost_model.lifetime_savings(
+        budget.full_watts, budget.watts_at(power_fraction))

@@ -1,0 +1,28 @@
+"""Routing substrate.
+
+All strategies share one contract: called as ``strategy(switch, packet)``
+they return the candidate output channels for the packet's next hop; the
+switch then applies the paper's selection rule (least output-queue
+occupancy) and flow control.
+
+- :mod:`repro.routing.adaptive` — minimal adaptive FBFLY routing
+  (the paper's mechanism: any unresolved dimension is a legal hop).
+- :mod:`repro.routing.dimension_order` — deterministic dimension-order
+  baseline (no path diversity).
+- :mod:`repro.routing.restricted` — adaptive routing over a subset of
+  powered links (mesh/torus dynamic topologies, Section 5.1).
+"""
+
+from repro.routing.adaptive import MinimalAdaptiveRouting
+from repro.routing.dimension_order import DimensionOrderRouting
+from repro.routing.restricted import RestrictedAdaptiveRouting
+from repro.routing.fat_tree import FatTreeUpDownRouting
+from repro.routing.energy_aware import EnergyAwareRouting
+
+__all__ = [
+    "MinimalAdaptiveRouting",
+    "DimensionOrderRouting",
+    "RestrictedAdaptiveRouting",
+    "FatTreeUpDownRouting",
+    "EnergyAwareRouting",
+]

@@ -1,0 +1,47 @@
+"""Minimal adaptive routing for flattened butterflies.
+
+A packet at switch ``s`` headed for destination switch ``d`` may correct
+any dimension in which the two coordinates differ — the rook-move
+property.  Every such hop is a candidate; the switch picks the candidate
+with the least-occupied output queue (Section 4.1: "adaptively route on
+each hop based solely on the output queue depth").
+
+This local choice is also what the energy-proportional controller leans
+on: when a candidate channel is slow or reactivating, its queue backs up
+and new traffic drains toward the other dimensions automatically
+(Section 3.3: "we do not explicitly remove them from the set of legal
+output ports, but rather rely on the adaptive routing mechanism").
+"""
+
+from __future__ import annotations
+
+from typing import List, TYPE_CHECKING
+
+from repro.sim.channel import Channel
+from repro.sim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.network import FbflyNetwork
+    from repro.sim.switch import Switch
+
+
+class MinimalAdaptiveRouting:
+    """Candidate outputs = one hop per unresolved dimension."""
+
+    def __init__(self, network: "FbflyNetwork"):
+        self.network = network
+        self.topology = network.topology
+
+    def __call__(self, switch: "Switch", packet: Packet) -> List[Channel]:
+        topo = self.topology
+        dst_switch = topo.host_switch(packet.dst)
+        here = topo.coordinate(switch.id)
+        target = topo.coordinate(dst_switch)
+        candidates: List[Channel] = []
+        for dim in range(topo.dimensions):
+            if here[dim] != target[dim]:
+                peer = topo.peer_in_dimension(switch.id, dim, target[dim])
+                channel = switch.switch_out[peer]
+                if channel.usable:
+                    candidates.append(channel)
+        return candidates

@@ -1,0 +1,39 @@
+"""Dimension-order (deterministic) routing baseline.
+
+Corrects the lowest-indexed differing dimension first, always yielding a
+single candidate.  It removes all path diversity, so it is the control
+case for measuring how much the adaptive mechanism contributes — both to
+load balance at full power and to routing around reactivating links.
+"""
+
+from __future__ import annotations
+
+from typing import List, TYPE_CHECKING
+
+from repro.sim.channel import Channel
+from repro.sim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.network import FbflyNetwork
+    from repro.sim.switch import Switch
+
+
+class DimensionOrderRouting:
+    """Single-candidate deterministic routing."""
+
+    def __init__(self, network: "FbflyNetwork"):
+        self.network = network
+        self.topology = network.topology
+
+    def __call__(self, switch: "Switch", packet: Packet) -> List[Channel]:
+        topo = self.topology
+        dst_switch = topo.host_switch(packet.dst)
+        here = topo.coordinate(switch.id)
+        target = topo.coordinate(dst_switch)
+        for dim in range(topo.dimensions):
+            if here[dim] != target[dim]:
+                peer = topo.peer_in_dimension(switch.id, dim, target[dim])
+                return [switch.switch_out[peer]]
+        raise RuntimeError(
+            f"dimension-order routing called at destination switch {switch.id}"
+        )

@@ -1,0 +1,73 @@
+"""Energy-aware adaptive routing (Section 5.1's open problem).
+
+The dynamic-topology discussion notes that energy-proportional fabrics
+ultimately want "an energy-aware routing algorithm capable of placing
+new routes with live traffic".  Plain queue-depth adaptive routing is
+*energy-oblivious*: by levelling load it keeps every link lukewarm,
+which is exactly what prevents the epoch controller from putting links
+into their lowest mode.
+
+:class:`EnergyAwareRouting` biases the choice among minimal-route
+candidates toward channels that are already running fast, consolidating
+traffic so that cold channels stay cold (and keep descending the rate
+ladder).  The bias is expressed as a *virtual queue penalty* added to
+slow channels' occupancy; congestion still dominates when queues grow,
+preserving load balance under pressure.
+"""
+
+from __future__ import annotations
+
+from typing import List, TYPE_CHECKING
+
+from repro.routing.adaptive import MinimalAdaptiveRouting
+from repro.sim.channel import Channel
+from repro.sim.packet import Packet
+from repro.units import gbps_to_bytes_per_ns
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.network import FbflyNetwork
+    from repro.sim.switch import Switch
+
+
+class EnergyAwareRouting(MinimalAdaptiveRouting):
+    """Minimal adaptive routing with a consolidation bias.
+
+    Args:
+        network: The FBFLY fabric.
+        bias_ns: Virtual queueing penalty (in ns of drain time at full
+            rate) charged to a candidate for each rate step below the
+            ladder maximum.  Zero reduces to plain adaptive routing.
+    """
+
+    #: Penalty per rate step below maximum, in ns of full-rate drain time.
+    DEFAULT_BIAS_NS = 2000.0
+
+    def __init__(self, network: "FbflyNetwork",
+                 bias_ns: float = DEFAULT_BIAS_NS):
+        super().__init__(network)
+        if bias_ns < 0:
+            raise ValueError(f"bias must be non-negative, got {bias_ns}")
+        self.bias_ns = bias_ns
+        self._ladder = network.config.ladder
+
+    def __call__(self, switch: "Switch", packet: Packet) -> List[Channel]:
+        candidates = super().__call__(switch, packet)
+        if len(candidates) <= 1 or self.bias_ns == 0.0:
+            return candidates
+        # Return candidates ordered by biased cost; the switch still
+        # applies its own least-queue selection, so express the bias by
+        # pruning to the single best candidate plus any genuinely less
+        # loaded alternative.
+        best = min(candidates, key=lambda ch: self._cost(ch))
+        fallback = [ch for ch in candidates
+                    if ch is not best
+                    and ch.queue_bytes < best.queue_bytes]
+        return [best] + fallback
+
+    def _cost(self, channel: Channel) -> float:
+        """Queue drain time plus the cold-channel penalty."""
+        drain_ns = channel.queue_bytes / gbps_to_bytes_per_ns(
+            self._ladder.max_rate)
+        steps_below_max = (len(self._ladder) - 1
+                           - self._ladder.index(channel.rate_gbps))
+        return drain_ns + steps_below_max * self.bias_ns

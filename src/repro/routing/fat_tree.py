@@ -1,0 +1,63 @@
+"""Up/down adaptive routing for three-level fat trees.
+
+The classic folded-Clos discipline: climb toward the core while the
+destination is outside the current subtree (adaptively — any uplink is
+legal, the switch picks the least-occupied), then descend along the
+unique downward path.  Upward adaptivity is the fat tree's version of
+the FBFLY's path diversity; the downward path has none, which is one of
+the structural differences the paper's Section 3.2 discussion rests on.
+"""
+
+from __future__ import annotations
+
+from typing import List, TYPE_CHECKING
+
+from repro.sim.channel import Channel
+from repro.sim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.clos_network import FatTreeNetwork
+    from repro.sim.switch import Switch
+
+
+class FatTreeUpDownRouting:
+    """Adaptive up, deterministic down."""
+
+    def __init__(self, network: "FatTreeNetwork"):
+        self.network = network
+        self.topology = network.topology
+
+    def __call__(self, switch: "Switch", packet: Packet) -> List[Channel]:
+        topo = self.topology
+        dst_edge = topo.host_switch(packet.dst)
+        dst_pod = topo.pod_of(dst_edge)
+
+        if topo.is_edge(switch.id):
+            # Local delivery is handled by the switch itself; anything
+            # else climbs to one of the pod's aggregation switches.
+            return self._usable(
+                switch,
+                [topo.agg_index(topo.pod_of(switch.id), a)
+                 for a in range(topo.aggs_per_pod)])
+
+        if topo.is_agg(switch.id):
+            if topo.pod_of(switch.id) == dst_pod:
+                return self._usable(switch, [dst_edge])
+            half = topo.radix // 2
+            slot = (switch.id - topo.num_edge) % topo.aggs_per_pod
+            cores = [topo.core_index(slot * half + i) for i in range(half)]
+            return self._usable(switch, cores)
+
+        # Core: descend into the destination pod via the one aggregation
+        # switch this core connects to there.
+        slot = topo.agg_slot_of_core(switch.id)
+        return self._usable(switch, [topo.agg_index(dst_pod, slot)])
+
+    @staticmethod
+    def _usable(switch: "Switch", peers: List[int]) -> List[Channel]:
+        channels = [switch.switch_out[p] for p in peers]
+        usable = [ch for ch in channels if ch.usable]
+        if not usable:
+            raise RuntimeError(
+                f"fat-tree switch {switch.id}: no usable next hop")
+        return usable

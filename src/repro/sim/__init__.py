@@ -1,0 +1,57 @@
+"""Event-driven network simulator.
+
+Packet-granularity simulator with the mechanisms the paper's evaluation
+relies on (Section 4.1): credit-based, cut-through flow control; input
+and output buffered switches; adaptive routing on output queue depth; and
+plesiochronous channels that can be detuned through a rate ladder with a
+non-instantaneous reactivation penalty.
+
+Modules:
+
+- :mod:`repro.sim.engine` — the discrete-event core.
+- :mod:`repro.sim.packet` — messages and packets.
+- :mod:`repro.sim.channel` — unidirectional plesiochronous channels.
+- :mod:`repro.sim.switch` — input/output buffered switches.
+- :mod:`repro.sim.host` — host NICs (packetization, reassembly).
+- :mod:`repro.sim.network` — wires a FBFLY topology into a simulation.
+- :mod:`repro.sim.stats` — latency, utilization and power accounting.
+"""
+
+from repro.sim.engine import Simulator, Event
+from repro.sim.packet import Message, Packet
+from repro.sim.channel import Channel, ChannelState
+from repro.sim.switch import Switch
+from repro.sim.host import Host
+from repro.sim.fabric import Fabric
+from repro.sim.network import FbflyNetwork, NetworkConfig
+from repro.sim.clos_network import FatTreeNetwork
+from repro.sim.faults import LinkFaultInjector, FaultRecord
+from repro.sim.tracing import PacketTracer, TraceRecord
+from repro.sim.invariants import check_fabric, InvariantReport
+from repro.sim.monitors import PowerMonitor, CongestionMonitor
+from repro.sim.stats import NetworkStats, ChannelStats
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Message",
+    "Packet",
+    "Channel",
+    "ChannelState",
+    "Switch",
+    "Host",
+    "Fabric",
+    "FbflyNetwork",
+    "NetworkConfig",
+    "FatTreeNetwork",
+    "LinkFaultInjector",
+    "FaultRecord",
+    "PacketTracer",
+    "TraceRecord",
+    "check_fabric",
+    "InvariantReport",
+    "PowerMonitor",
+    "CongestionMonitor",
+    "NetworkStats",
+    "ChannelStats",
+]

@@ -1,0 +1,53 @@
+"""The simulatable folded-Clos (fat tree) baseline network.
+
+The paper's Section 3.2 observes that its rate-scaling mechanisms "are
+possible with other topologies, such as a folded-Clos", but argues the
+FBFLY is a better fit (local decisions, built-in adaptive routing).
+:class:`FatTreeNetwork` lets that claim be measured: the same hosts,
+channels, epoch controller and workloads run over a three-level fat
+tree with up/down adaptive routing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.fabric import Fabric, RoutingFactory
+from repro.sim.network import NetworkConfig
+from repro.topology.fat_tree import FatTree
+
+
+class FatTreeNetwork(Fabric):
+    """A simulated three-level fat tree.
+
+    Args:
+        topology: The fat tree to instantiate.
+        config: Network tunables (shared with the FBFLY network).
+        routing_factory: Strategy builder; defaults to up/down adaptive
+            routing (least-occupied uplink, deterministic descent).
+    """
+
+    def __init__(
+        self,
+        topology: FatTree,
+        config: Optional[NetworkConfig] = None,
+        routing_factory: Optional[RoutingFactory] = None,
+    ):
+        if routing_factory is None:
+            from repro.routing.fat_tree import FatTreeUpDownRouting
+            routing_factory = FatTreeUpDownRouting
+        super().__init__(topology, config or NetworkConfig(),
+                         routing_factory)
+
+    def _link_medium(self, link):
+        """Packaging model matching :meth:`FatTree.part_counts`:
+        intra-pod (edge<->aggregation) links are copper; pod-to-core
+        links are optical."""
+        from repro.power.switch_profile import LinkMedium
+        if self.topology.is_core(link.dst) or self.topology.is_core(link.src):
+            return LinkMedium.OPTICAL
+        return LinkMedium.COPPER
+
+    def _host_link_medium(self):
+        from repro.power.switch_profile import LinkMedium
+        return LinkMedium.COPPER

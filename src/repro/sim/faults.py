@@ -1,0 +1,138 @@
+"""Link-fault injection.
+
+Section 1 of the paper observes that "deactivating a link appears as if
+the link is faulty to the routing algorithm" — rate scaling and fault
+tolerance exercise the same machinery.  This module makes that explicit:
+a :class:`LinkFaultInjector` takes links down (hard power-off, as a
+failure) and back up on a schedule, and the adaptive routing layers
+(:class:`~repro.routing.restricted.RestrictedAdaptiveRouting` for
+FBFLYs) route around them.
+
+Failing a link is a *drain-free* event — unlike the dynamic-topology
+controller's graceful drain, a fault strands whatever sat in the output
+queue, which the injector re-routes through the owning switch, modelling
+link-level retransmission from the sender's buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple, TYPE_CHECKING
+
+from repro.sim.channel import Channel, ChannelState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.fabric import Fabric
+
+
+@dataclass
+class FaultRecord:
+    """One injected fault, for reporting."""
+
+    time_ns: float
+    link: Tuple[int, int]
+    repaired_ns: float = None
+    stranded_packets: int = 0
+
+
+class LinkFaultInjector:
+    """Schedules bidirectional link failures and repairs on a fabric.
+
+    Args:
+        network: The fabric under test.  Its routing strategy must
+            tolerate missing links (restricted adaptive routing on a
+            FBFLY; the plain minimal adaptive routing cannot route
+            around a failed direct link).
+    """
+
+    def __init__(self, network: "Fabric"):
+        self.network = network
+        self.records: List[FaultRecord] = []
+
+    # ------------------------------------------------------------------
+
+    def fail_link(self, time_ns: float, a: int, b: int,
+                  repair_after_ns: float = None) -> FaultRecord:
+        """Schedule both channels of link (a, b) to fail at ``time_ns``.
+
+        Args:
+            repair_after_ns: Optional downtime after which the link is
+                restored (paying a normal reactivation).
+        """
+        record = FaultRecord(time_ns=time_ns, link=(a, b))
+        self.records.append(record)
+        self.network.sim.schedule_at(time_ns, self._fail, a, b, record)
+        if repair_after_ns is not None:
+            repair_time = time_ns + repair_after_ns
+            record.repaired_ns = repair_time
+            self.network.sim.schedule_at(repair_time, self._repair, a, b)
+        return record
+
+    # ------------------------------------------------------------------
+
+    def _fail(self, a: int, b: int, record: FaultRecord) -> None:
+        for src, dst in ((a, b), (b, a)):
+            channel = self.network.switch_channel(src, dst)
+            record.stranded_packets += self._hard_down(channel, src)
+
+    def _hard_down(self, channel: Channel, owner_switch: int) -> int:
+        """Force a channel off, re-injecting its queued packets."""
+        if channel.is_off:
+            return 0
+        stranded = list(channel._queue)
+        channel._queue.clear()
+        channel._queue_bytes = 0
+        # An in-flight packet is considered delivered (its last bit may
+        # already be on the wire); only queued packets are re-routed.
+        channel.draining = True
+        if channel.drained:
+            channel.power_off()
+        else:
+            # Serializer busy: power down the moment it finishes.
+            self._defer_power_off(channel)
+        switch = self.network.switches[owner_switch]
+        for packet in stranded:
+            # Retransmit from the sender's buffer: route afresh.
+            self.network.sim.schedule(
+                switch.router_latency_ns, self._reroute, switch, packet)
+        return len(stranded)
+
+    def _defer_power_off(self, channel: Channel, poll_ns: float = 100.0) -> None:
+        def attempt():
+            if channel.is_off:
+                return
+            if channel.drained:
+                channel.power_off()
+            else:
+                self.network.sim.schedule(poll_ns, attempt, daemon=True)
+        self.network.sim.schedule(poll_ns, attempt, daemon=True)
+
+    def _reroute(self, switch, packet) -> None:
+        candidates = switch._candidates(packet)
+        live = [c for c in candidates if c.usable]
+        if not live:
+            raise RuntimeError(
+                f"fault disconnected switch {switch.id}: no path for "
+                f"{packet!r}")
+        chosen = min(live, key=lambda c: c.queue_bytes)
+        chosen.enqueue(packet, force=True)
+
+    def _repair(self, a: int, b: int) -> None:
+        for src, dst in ((a, b), (b, a)):
+            channel = self.network.switch_channel(src, dst)
+            if channel.is_off:
+                channel.power_on(reactivation_ns=1000.0)
+            else:
+                channel.draining = False
+
+    # ------------------------------------------------------------------
+
+    @property
+    def active_faults(self) -> int:
+        """Links currently down."""
+        count = 0
+        for record in self.records:
+            a, b = record.link
+            if self.network.switch_channel(a, b).is_off:
+                count += 1
+        return count

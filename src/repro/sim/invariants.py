@@ -1,0 +1,120 @@
+"""Runtime invariant checking for simulated fabrics.
+
+A discrete-event network simulator earns trust by being checkable.
+:func:`check_fabric` walks a fabric after (or during) a run and verifies
+the conservation properties the flow-control design guarantees:
+
+- **credit conservation** — every channel's outstanding credits equal
+  its credit limit once the network drains (all loaned buffer space was
+  returned);
+- **queue emptiness** — after a drain, no output queue holds packets and
+  no switch holds blocked packets;
+- **byte conservation** — bytes delivered to hosts never exceed bytes
+  injected, and equal them after a drain;
+- **counter sanity** — per-channel byte/packet counters are consistent
+  with the network totals.
+
+Tests use it directly, and examples can call it as a self-check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.fabric import Fabric
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of an invariant sweep."""
+
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no invariant was violated."""
+        return not self.violations
+
+    def expect(self, condition: bool, message: str) -> None:
+        """Record ``message`` as a violation when ``condition`` is false."""
+        if not condition:
+            self.violations.append(message)
+
+    def raise_if_violated(self) -> None:
+        """Raise AssertionError listing any violations."""
+        if self.violations:
+            details = "\n  - ".join(self.violations)
+            raise AssertionError(f"fabric invariants violated:\n  - {details}")
+
+
+def check_fabric(network: "Fabric", drained: bool = True) -> InvariantReport:
+    """Verify fabric-wide conservation invariants.
+
+    Args:
+        network: The fabric to inspect.
+        drained: Whether the network is expected to have no traffic in
+            flight (run to completion without an early horizon).  The
+            drain-dependent checks are skipped otherwise.
+    """
+    report = InvariantReport()
+    stats = network.stats
+
+    for channel in network.all_channels():
+        report.expect(
+            channel.credits <= channel.credit_limit,
+            f"{channel.name}: credits {channel.credits} exceed limit "
+            f"{channel.credit_limit}")
+        report.expect(
+            channel.queue_bytes >= 0,
+            f"{channel.name}: negative queue occupancy")
+        if drained:
+            report.expect(
+                channel.drained,
+                f"{channel.name}: {channel.queue_packets} packets still "
+                "queued after drain")
+            report.expect(
+                channel.is_off or channel.credits == channel.credit_limit,
+                f"{channel.name}: {channel.credit_limit - channel.credits} "
+                "bytes of credit never returned")
+
+    for switch in network.switches:
+        if drained:
+            report.expect(
+                switch.blocked_packets == 0,
+                f"switch {switch.id}: {switch.blocked_packets} packets "
+                "blocked after drain")
+
+    for host in network.hosts:
+        if drained:
+            report.expect(
+                host.pending_packets == 0,
+                f"host {host.id}: {host.pending_packets} packets pending "
+                "after drain")
+
+    report.expect(
+        stats.bytes_delivered <= stats.bytes_injected,
+        f"delivered {stats.bytes_delivered} bytes exceed injected "
+        f"{stats.bytes_injected}")
+    if drained:
+        report.expect(
+            stats.bytes_delivered == stats.bytes_injected,
+            f"drained network lost bytes: injected {stats.bytes_injected}, "
+            f"delivered {stats.bytes_delivered}")
+        report.expect(
+            stats.messages_delivered == stats.messages_injected,
+            f"drained network lost messages: {stats.messages_injected} "
+            f"injected, {stats.messages_delivered} delivered")
+
+    host_sent = sum(h.bytes_sent for h in network.hosts)
+    host_received = sum(h.bytes_received for h in network.hosts)
+    report.expect(
+        host_received <= host_sent,
+        f"hosts received {host_received} > sent {host_sent}")
+    report.expect(
+        host_received == stats.bytes_delivered,
+        f"host receive counters ({host_received}) disagree with network "
+        f"stats ({stats.bytes_delivered})")
+
+    return report

@@ -1,0 +1,106 @@
+"""Time-series monitors: power and congestion sampled over a run.
+
+The paper reports end-of-run aggregates; understanding *why* a run
+behaved as it did usually needs the trajectory.  These monitors sample
+the live fabric on a fixed period (as daemon events, so they never keep
+a drained simulation alive) and retain compact series:
+
+- :class:`PowerMonitor` — instantaneous network power under a channel
+  power model, relative to the full-rate baseline.
+- :class:`CongestionMonitor` — total queued bytes and blocked packets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.power.channel_models import ChannelPowerModel, IdealChannelPower
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.channel import Channel
+    from repro.sim.fabric import Fabric
+
+
+class PowerMonitor:
+    """Samples instantaneous normalized network power.
+
+    Args:
+        network: Fabric to observe.
+        model: Channel power model to price configured rates with.
+        period_ns: Sampling period.
+        channels: Channel subset (defaults to every channel).
+        off_power: Normalized power charged to powered-off channels.
+    """
+
+    def __init__(self, network: "Fabric",
+                 model: Optional[ChannelPowerModel] = None,
+                 period_ns: float = 10_000.0,
+                 channels: Optional[Sequence["Channel"]] = None,
+                 off_power: float = 0.0):
+        if period_ns <= 0:
+            raise ValueError(f"period must be positive, got {period_ns}")
+        self.network = network
+        self.model = model if model is not None else IdealChannelPower()
+        self.period_ns = period_ns
+        self.channels = list(channels if channels is not None
+                             else network.all_channels())
+        if not self.channels:
+            raise ValueError("power monitor needs at least one channel")
+        self.off_power = off_power
+        self.samples: List[Tuple[float, float]] = []
+        network.sim.schedule(period_ns, self._sample, daemon=True)
+
+    def _sample(self) -> None:
+        total = 0.0
+        for channel in self.channels:
+            if channel.is_off:
+                total += self.off_power
+            else:
+                total += self.model.power(channel.rate_gbps)
+        self.samples.append((self.network.sim.now, total / len(self.channels)))
+        self.network.sim.schedule(self.period_ns, self._sample, daemon=True)
+
+    @property
+    def times_ns(self) -> List[float]:
+        """Sample timestamps, in ns."""
+        return [t for t, _ in self.samples]
+
+    @property
+    def power_fractions(self) -> List[float]:
+        """Sampled normalized power values."""
+        return [p for _, p in self.samples]
+
+    def peak(self) -> float:
+        """Highest sampled power fraction (0.0 with no samples)."""
+        return max(self.power_fractions, default=0.0)
+
+    def trough(self) -> float:
+        """Lowest sampled power fraction (0.0 with no samples)."""
+        return min(self.power_fractions, default=0.0)
+
+
+class CongestionMonitor:
+    """Samples total output-queue occupancy and blocked packets."""
+
+    def __init__(self, network: "Fabric", period_ns: float = 10_000.0):
+        if period_ns <= 0:
+            raise ValueError(f"period must be positive, got {period_ns}")
+        self.network = network
+        self.period_ns = period_ns
+        #: (time, queued bytes, blocked packets) samples.
+        self.samples: List[Tuple[float, int, int]] = []
+        network.sim.schedule(period_ns, self._sample, daemon=True)
+
+    def _sample(self) -> None:
+        queued = sum(ch.queue_bytes for ch in self.network.all_channels())
+        blocked = sum(sw.blocked_packets for sw in self.network.switches)
+        self.samples.append((self.network.sim.now, queued, blocked))
+        self.network.sim.schedule(self.period_ns, self._sample, daemon=True)
+
+    def peak_queued_bytes(self) -> int:
+        """Largest sampled total queue occupancy."""
+        return max((q for _, q, _ in self.samples), default=0)
+
+    def peak_blocked_packets(self) -> int:
+        """Largest sampled blocked-packet count."""
+        return max((b for _, _, b in self.samples), default=0)

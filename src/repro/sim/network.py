@@ -1,0 +1,112 @@
+"""The flattened-butterfly network and the shared network configuration.
+
+:class:`FbflyNetwork` is the fabric the paper evaluates: an FBFLY wired
+with two unidirectional channels per link and minimal adaptive routing
+on output queue depth.  All the generic machinery lives in
+:class:`~repro.sim.fabric.Fabric`; the fat-tree baseline
+(:mod:`repro.sim.clos_network`) shares it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.power.link_rates import RateLadder, DEFAULT_RATE_LADDER
+from repro.sim.fabric import Fabric, RoutingFactory
+from repro.topology.flattened_butterfly import FlattenedButterfly
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Tunables of a simulated network.
+
+    Defaults follow the paper's evaluation where stated (40 Gb/s links
+    detunable to 2.5 Gb/s; adaptive routing on output queue depth) and
+    use conventional values where the paper is silent (MTU, buffer
+    sizes, router pipeline latency).
+
+    Attributes:
+        mtu_bytes: Packet payload size.
+        router_latency_ns: Switch pipeline latency per hop.
+        propagation_ns: Wire flight time per channel (and per credit).
+        queue_capacity_bytes: Per-channel output-queue capacity.
+        credit_bytes: Per-channel downstream input-buffer size.
+        ladder: Configurable rate ladder for every channel.
+        initial_rate_gbps: Starting rate (defaults to the ladder maximum —
+            the baseline full-power configuration).
+        host_links_tunable: Whether host<->switch links participate in
+            rate scaling alongside inter-switch links.
+        escape_timeout_ns: Switch escape-valve deadline (None disables).
+        seed: Seed for routing tie-break randomness.
+    """
+
+    mtu_bytes: int = 2048
+    router_latency_ns: float = 100.0
+    propagation_ns: float = 50.0
+    queue_capacity_bytes: int = 65536
+    credit_bytes: int = 32768
+    ladder: RateLadder = field(default_factory=lambda: DEFAULT_RATE_LADDER)
+    initial_rate_gbps: Optional[float] = None
+    host_links_tunable: bool = True
+    escape_timeout_ns: Optional[float] = 1_000_000.0
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.mtu_bytes <= 0:
+            raise ValueError(f"MTU must be positive, got {self.mtu_bytes}")
+        if self.router_latency_ns < 0 or self.propagation_ns < 0:
+            raise ValueError("latencies cannot be negative")
+        if self.queue_capacity_bytes < self.mtu_bytes:
+            raise ValueError(
+                "output queue must hold at least one MTU "
+                f"({self.queue_capacity_bytes} < {self.mtu_bytes})")
+        if self.credit_bytes < self.mtu_bytes:
+            raise ValueError(
+                "input buffer must hold at least one MTU "
+                f"({self.credit_bytes} < {self.mtu_bytes})")
+        if (self.escape_timeout_ns is not None
+                and self.escape_timeout_ns <= 0):
+            raise ValueError("escape timeout must be positive or None")
+        if (self.initial_rate_gbps is not None
+                and self.initial_rate_gbps not in self.ladder):
+            raise ValueError(
+                f"initial rate {self.initial_rate_gbps} not on ladder "
+                f"{self.ladder}")
+
+
+class FbflyNetwork(Fabric):
+    """A simulated flattened-butterfly network.
+
+    Args:
+        topology: The FBFLY to instantiate.
+        config: Network tunables.
+        routing_factory: Strategy builder; defaults to minimal adaptive
+            routing on output queue depth (the paper's mechanism).
+    """
+
+    def __init__(
+        self,
+        topology: FlattenedButterfly,
+        config: Optional[NetworkConfig] = None,
+        routing_factory: Optional[RoutingFactory] = None,
+    ):
+        if routing_factory is None:
+            # Imported here to avoid a package import cycle.
+            from repro.routing.adaptive import MinimalAdaptiveRouting
+            routing_factory = MinimalAdaptiveRouting
+        super().__init__(topology, config or NetworkConfig(),
+                         routing_factory)
+
+    def _link_medium(self, link):
+        """The paper's packaging model: dimension 0 interconnects
+        switches in close proximity over passive copper; higher
+        dimensions are optical."""
+        from repro.power.switch_profile import LinkMedium
+        if link.dimension == 0:
+            return LinkMedium.COPPER
+        return LinkMedium.OPTICAL
+
+    def _host_link_medium(self):
+        from repro.power.switch_profile import LinkMedium
+        return LinkMedium.COPPER

@@ -1,0 +1,28 @@
+"""The node interface shared by switches and host NICs.
+
+A :class:`Node` is anything a channel can terminate at.  Channels call
+``receive`` when a packet's last bit lands, and ``on_output_space`` when
+one of the node's *outgoing* channels drains a packet and frees
+output-queue space (which may unblock a waiting packet or a pending NIC
+injection).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.channel import Channel
+    from repro.sim.packet import Packet
+
+
+class Node(Protocol):
+    """Receiver-side contract for channels."""
+
+    def receive(self, packet: "Packet", channel: "Channel") -> None:
+        """A packet fully arrived over ``channel``."""
+        ...
+
+    def on_output_space(self, channel: "Channel") -> None:
+        """Outgoing ``channel`` freed output-queue space."""
+        ...

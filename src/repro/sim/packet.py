@@ -1,0 +1,119 @@
+"""Messages and packets.
+
+A *message* is the unit of work a workload injects (e.g. the uniform
+workload's 512 KB transfers); the host NIC segments it into MTU-sized
+*packets*, the unit the network routes and the channels serialize.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+_message_ids = itertools.count()
+
+
+class Message:
+    """One application-level transfer between two hosts.
+
+    Attributes:
+        src: Source host id.
+        dst: Destination host id.
+        size_bytes: Total payload size.
+        create_time: Simulation time the workload injected the message;
+            message latency is measured from here to last-packet delivery,
+            so source queueing is included (as a saturated network must
+            show unbounded latency growth).
+    """
+
+    __slots__ = ("id", "src", "dst", "size_bytes", "create_time",
+                 "packets_total", "packets_delivered", "deliver_time")
+
+    def __init__(self, src: int, dst: int, size_bytes: int, create_time: float):
+        if src == dst:
+            raise ValueError(f"message to self at host {src}")
+        if size_bytes <= 0:
+            raise ValueError(f"message size must be positive, got {size_bytes}")
+        self.id = next(_message_ids)
+        self.src = src
+        self.dst = dst
+        self.size_bytes = size_bytes
+        self.create_time = create_time
+        self.packets_total = 0
+        self.packets_delivered = 0
+        self.deliver_time: Optional[float] = None
+
+    @property
+    def complete(self) -> bool:
+        """True once every packet of the message was delivered."""
+        return (self.packets_total > 0
+                and self.packets_delivered == self.packets_total)
+
+    @property
+    def latency_ns(self) -> Optional[float]:
+        """Delivery latency in ns, or None if not delivered yet."""
+        if self.deliver_time is None:
+            return None
+        return self.deliver_time - self.create_time
+
+    def packetize(self, mtu_bytes: int) -> List["Packet"]:
+        """Segment into MTU-sized packets (last one may be short)."""
+        if mtu_bytes <= 0:
+            raise ValueError(f"MTU must be positive, got {mtu_bytes}")
+        packets = []
+        remaining = self.size_bytes
+        index = 0
+        while remaining > 0:
+            size = min(mtu_bytes, remaining)
+            packets.append(Packet(self, index, size))
+            remaining -= size
+            index += 1
+        self.packets_total = len(packets)
+        return packets
+
+    def __repr__(self) -> str:
+        return (f"Message(#{self.id} {self.src}->{self.dst} "
+                f"{self.size_bytes}B @ {self.create_time:.0f}ns)")
+
+
+class Packet:
+    """One routable unit of a message."""
+
+    __slots__ = ("message", "index", "size_bytes", "inject_time",
+                 "deliver_time", "hops")
+
+    def __init__(self, message: Message, index: int, size_bytes: int):
+        self.message = message
+        self.index = index
+        self.size_bytes = size_bytes
+        #: Time the packet entered the source NIC's output channel queue.
+        self.inject_time: Optional[float] = None
+        self.deliver_time: Optional[float] = None
+        #: Switches traversed so far.
+        self.hops = 0
+
+    @property
+    def src(self) -> int:
+        """Source host id."""
+        return self.message.src
+
+    @property
+    def dst(self) -> int:
+        """Destination host id."""
+        return self.message.dst
+
+    @property
+    def latency_ns(self) -> Optional[float]:
+        """Delivery latency measured from message creation.
+
+        Packet latency includes time queued in the source NIC behind
+        earlier packets of the same (or earlier) messages, which is where
+        saturation shows up.
+        """
+        if self.deliver_time is None:
+            return None
+        return self.deliver_time - self.message.create_time
+
+    def __repr__(self) -> str:
+        return (f"Packet(msg #{self.message.id} [{self.index}] "
+                f"{self.size_bytes}B {self.src}->{self.dst})")

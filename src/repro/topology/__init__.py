@@ -1,0 +1,35 @@
+"""Topology substrate: flattened butterfly, folded Clos, and the
+mesh/torus degradations used by dynamic topologies.
+
+The paper's Section 2 compares a flattened butterfly (FBFLY) against a
+folded-Clos of equal size and bisection bandwidth at the level of *parts*:
+switch chips, electrical links and optical links.  This package provides
+both that analytic parts model (:mod:`repro.topology.parts`) and the full
+connectivity graphs the simulator instantiates.
+"""
+
+from repro.topology.parts import PartCount
+from repro.topology.base import Coordinate, SwitchLink, Topology
+from repro.topology.flattened_butterfly import FlattenedButterfly
+from repro.topology.folded_clos import FoldedClos
+from repro.topology.fat_tree import FatTree
+from repro.topology.mesh_torus import (
+    LinkClass,
+    classify_links,
+    mesh_link_set,
+    torus_link_set,
+)
+
+__all__ = [
+    "PartCount",
+    "Coordinate",
+    "SwitchLink",
+    "Topology",
+    "FlattenedButterfly",
+    "FoldedClos",
+    "FatTree",
+    "LinkClass",
+    "classify_links",
+    "mesh_link_set",
+    "torus_link_set",
+]

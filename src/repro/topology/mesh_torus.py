@@ -1,0 +1,90 @@
+"""Mesh/torus degradations of a flattened butterfly (Section 5.1).
+
+A fully connected FBFLY dimension contains, as subgraphs, both a linear
+mesh (links between adjacent coordinates) and a ring/torus (mesh plus the
+wrap-around link).  The paper's *dynamic topologies* proposal selectively
+powers FBFLY links off "thereby changing the topology to a more
+conventional mesh or torus", then re-enables express and wrap links as
+offered load grows.
+
+This module classifies every FBFLY inter-switch link into one of three
+classes so the dynamic-topology controller can decide which subset to
+keep powered:
+
+- ``MESH``: adjacent coordinates within a dimension — the minimum
+  connected skeleton.
+- ``TORUS_WRAP``: the single wrap link (0 <-> k-1) per ring, which
+  upgrades the mesh to a torus with double the bisection.
+- ``EXPRESS``: every other link — the full-connectivity shortcuts that
+  make the topology a flattened butterfly.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Tuple
+
+from repro.topology.base import SwitchLink
+from repro.topology.flattened_butterfly import FlattenedButterfly
+
+#: An unordered switch pair identifying a bidirectional link.
+LinkKey = Tuple[int, int]
+
+
+class LinkClass(enum.Enum):
+    """Role of an FBFLY link in the mesh/torus/express hierarchy."""
+
+    MESH = "mesh"
+    TORUS_WRAP = "torus_wrap"
+    EXPRESS = "express"
+
+
+def classify_link(fbfly: FlattenedButterfly, link: SwitchLink) -> LinkClass:
+    """Classify one inter-switch link of ``fbfly``."""
+    a = fbfly.coordinate(link.src)[link.dimension]
+    b = fbfly.coordinate(link.dst)[link.dimension]
+    lo, hi = min(a, b), max(a, b)
+    if hi - lo == 1:
+        return LinkClass.MESH
+    if lo == 0 and hi == fbfly.k - 1:
+        return LinkClass.TORUS_WRAP
+    return LinkClass.EXPRESS
+
+
+def classify_links(fbfly: FlattenedButterfly) -> Dict[LinkKey, LinkClass]:
+    """Classification of every inter-switch link, keyed by (src, dst)."""
+    return {
+        link.endpoints: classify_link(fbfly, link)
+        for link in fbfly.inter_switch_links()
+    }
+
+
+def mesh_link_set(fbfly: FlattenedButterfly) -> FrozenSet[LinkKey]:
+    """Links that remain powered in the fully degraded (mesh) mode."""
+    return frozenset(
+        key for key, cls in classify_links(fbfly).items()
+        if cls is LinkClass.MESH
+    )
+
+
+def torus_link_set(fbfly: FlattenedButterfly) -> FrozenSet[LinkKey]:
+    """Links powered in torus mode: mesh plus wrap-around links.
+
+    Note the paper's caveat: a torus with radix k > 4 needs extra virtual
+    channels for deadlock avoidance; our simulator keeps express-free
+    routing deadlock-safe by forbidding multi-hop travel within a
+    dimension from reversing direction (see
+    :mod:`repro.routing.restricted`).
+    """
+    return frozenset(
+        key for key, cls in classify_links(fbfly).items()
+        if cls in (LinkClass.MESH, LinkClass.TORUS_WRAP)
+    )
+
+
+def link_class_counts(fbfly: FlattenedButterfly) -> Dict[LinkClass, int]:
+    """How many links fall into each class — the power floor of each mode."""
+    counts = {cls: 0 for cls in LinkClass}
+    for cls in classify_links(fbfly).values():
+        counts[cls] += 1
+    return counts

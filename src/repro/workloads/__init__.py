@@ -1,0 +1,81 @@
+"""Workload substrate.
+
+The paper drives its simulator with one synthetic pattern and two
+production traces:
+
+- *Uniform*: "each host repeatedly sends a 512k message to a new random
+  destination" — :mod:`repro.workloads.uniform`.
+- *Advert* and *Search*: traces from a production datacenter, scaled up
+  and with placement randomized.  Production traces are not available,
+  so :mod:`repro.workloads.synthetic_traces` builds calibrated synthetic
+  equivalents reproducing the three properties the paper's results rest
+  on: low average utilization (5-25%), burstiness across timescales, and
+  asymmetric per-direction channel load.
+
+:mod:`repro.workloads.trace` reads/writes trace files (so real traces
+can be substituted back in) and provides the paper's scaling and
+placement-randomization transforms; :mod:`repro.workloads.burstiness`
+quantifies the properties the generators are calibrated against.
+"""
+
+from repro.workloads.base import TraceEvent, Workload, merge_event_streams
+from repro.workloads.uniform import UniformRandomWorkload
+from repro.workloads.synthetic_traces import (
+    BurstyTraceWorkload,
+    TraceProfile,
+    SEARCH_PROFILE,
+    ADVERT_PROFILE,
+    search_workload,
+    advert_workload,
+)
+from repro.workloads.trace import (
+    save_trace,
+    load_trace,
+    ReplayWorkload,
+    randomize_placement,
+    scale_time,
+)
+from repro.workloads.burstiness import (
+    utilization_series,
+    burstiness_profile,
+    coefficient_of_variation,
+    host_asymmetry,
+    mean_asymmetry_ratio,
+)
+from repro.workloads.patterns import (
+    PermutationWorkload,
+    HotspotWorkload,
+    bit_complement,
+    transpose,
+    tornado,
+)
+from repro.workloads.mixed import MixedWorkload
+
+__all__ = [
+    "TraceEvent",
+    "Workload",
+    "merge_event_streams",
+    "UniformRandomWorkload",
+    "BurstyTraceWorkload",
+    "TraceProfile",
+    "SEARCH_PROFILE",
+    "ADVERT_PROFILE",
+    "search_workload",
+    "advert_workload",
+    "save_trace",
+    "load_trace",
+    "ReplayWorkload",
+    "randomize_placement",
+    "scale_time",
+    "utilization_series",
+    "burstiness_profile",
+    "coefficient_of_variation",
+    "host_asymmetry",
+    "mean_asymmetry_ratio",
+    "PermutationWorkload",
+    "HotspotWorkload",
+    "bit_complement",
+    "transpose",
+    "tornado",
+    "MixedWorkload",
+]

@@ -1,0 +1,43 @@
+"""Multi-tenant workload mixing.
+
+Section 6's argument against MPI-style link scheduling is that "unlike
+high-performance computer (HPC) systems, datacenter networks run
+multiple workloads simultaneously, making the traffic pattern difficult
+or impossible to predict at the time of job scheduling."  The paper's
+own mechanism needs no prediction — it senses aggregate utilization —
+so it should keep working when services share the fabric.
+
+:class:`MixedWorkload` merges several component workloads over the same
+host population into one time-sorted stream, so a Search-like and an
+Advert-like service (plus any synthetic pattern) can run side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.workloads.base import TraceEvent, Workload, merge_event_streams
+
+
+class MixedWorkload:
+    """Superposition of several workloads sharing one host population."""
+
+    def __init__(self, components: Sequence[Workload]):
+        if not components:
+            raise ValueError("a mixed workload needs at least one component")
+        hosts = {wl.num_hosts for wl in components}
+        if len(hosts) != 1:
+            raise ValueError(
+                f"components disagree on host count: {sorted(hosts)}")
+        self.components = list(components)
+        self._num_hosts = hosts.pop()
+
+    @property
+    def num_hosts(self) -> int:
+        """Number of host endpoints."""
+        return self._num_hosts
+
+    def events(self, duration_ns: float) -> Iterator[TraceEvent]:
+        """Yield time-sorted injection events within [0, duration_ns)."""
+        return merge_event_streams(
+            wl.events(duration_ns) for wl in self.components)

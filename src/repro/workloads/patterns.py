@@ -1,0 +1,228 @@
+"""Classic interconnection-network traffic patterns.
+
+The flattened-butterfly literature the paper builds on (Kim, Dally &
+Abts, ISCA'07) evaluates topologies under adversarial permutation
+patterns as well as uniform random traffic, because a direct network
+with adaptive routing lives or dies by how it balances non-uniform
+loads.  These generators provide the standard set:
+
+- **bit complement** — host ``i`` sends to ``~i`` (worst case for many
+  dimension-ordered networks);
+- **transpose** — index digits swapped (stress for 2-D layouts);
+- **tornado** — each host sends to the host halfway around its
+  dimension (adversarial for rings/tori, relevant to the mesh/torus
+  dynamic-topology modes);
+- **hotspot** — a fraction of all traffic converges on a few hosts
+  (incast; the pattern that produces the most asymmetric channel loads).
+
+Each is a fixed src->dst mapping driven by Poisson message arrivals at a
+configurable offered load, sharing the calibration conventions of
+:class:`~repro.workloads.uniform.UniformRandomWorkload`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Iterator, List, Optional, Sequence
+
+from repro.units import gbps_to_bytes_per_ns
+from repro.workloads.base import TraceEvent, merge_event_streams
+
+#: A permutation maps each source host to its destination (or None for
+#: hosts that stay silent under the pattern).
+Permutation = Callable[[int, int], Optional[int]]
+
+
+def bit_complement(host: int, num_hosts: int) -> Optional[int]:
+    """Destination = bitwise complement within ``ceil(log2(n))`` bits.
+
+    Exact complement only exists for power-of-two populations; other
+    sizes mirror the index (``n - 1 - i``), the same traffic matrix in
+    spirit.
+    """
+    bits = max(1, (num_hosts - 1).bit_length())
+    if num_hosts == 2 ** bits:
+        dst = host ^ (2 ** bits - 1)
+    else:
+        dst = num_hosts - 1 - host
+    return None if dst == host else dst
+
+
+def transpose(host: int, num_hosts: int) -> Optional[int]:
+    """Destination = (col, row) for host (row, col) on a square grid.
+
+    Hosts beyond the largest inscribed square, and diagonal hosts, stay
+    silent.
+    """
+    side = int(math.isqrt(num_hosts))
+    if host >= side * side:
+        return None
+    row, col = divmod(host, side)
+    dst = col * side + row
+    return None if dst == host else dst
+
+
+def tornado(host: int, num_hosts: int) -> Optional[int]:
+    """Destination = halfway around the host ring (adversarial for
+    rings/tori: every message travels the maximum distance)."""
+    if num_hosts < 2:
+        return None
+    dst = (host + num_hosts // 2) % num_hosts
+    return None if dst == host else dst
+
+
+class PermutationWorkload:
+    """Poisson message arrivals over a fixed permutation pattern.
+
+    Args:
+        num_hosts: Host population.
+        permutation: One of the mappings above (or any callable with the
+            same signature).
+        offered_load: Mean injection per active host, as a fraction of
+            line rate.
+        message_bytes: Message size.
+        line_rate_gbps: Host line rate.
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        num_hosts: int,
+        permutation: Permutation,
+        offered_load: float = 0.1,
+        message_bytes: int = 64 * 1024,
+        line_rate_gbps: float = 40.0,
+        seed: int = 1,
+    ):
+        if num_hosts < 2:
+            raise ValueError("need at least two hosts")
+        if not 0.0 < offered_load <= 1.0:
+            raise ValueError(f"offered_load must be in (0, 1], got {offered_load}")
+        if message_bytes <= 0:
+            raise ValueError("message size must be positive")
+        self._num_hosts = num_hosts
+        self.permutation = permutation
+        self.offered_load = offered_load
+        self.message_bytes = message_bytes
+        self.line_rate_gbps = line_rate_gbps
+        self.seed = seed
+        self.pairs: List[tuple] = []
+        for host in range(num_hosts):
+            dst = permutation(host, num_hosts)
+            if dst is not None:
+                if not 0 <= dst < num_hosts:
+                    raise ValueError(
+                        f"permutation sent host {host} to invalid {dst}")
+                self.pairs.append((host, dst))
+        if not self.pairs:
+            raise ValueError("permutation leaves every host silent")
+
+    @property
+    def num_hosts(self) -> int:
+        """Number of host endpoints."""
+        return self._num_hosts
+
+    @property
+    def mean_interarrival_ns(self) -> float:
+        """Mean time between one source's message injections, in ns."""
+        rate = self.offered_load * gbps_to_bytes_per_ns(self.line_rate_gbps)
+        return self.message_bytes / rate
+
+    def events(self, duration_ns: float) -> Iterator[TraceEvent]:
+        """Yield time-sorted injection events within [0, duration_ns)."""
+        streams = (self._pair_stream(src, dst, duration_ns)
+                   for src, dst in self.pairs)
+        return merge_event_streams(streams)
+
+    def _pair_stream(self, src: int, dst: int,
+                     duration_ns: float) -> Iterator[TraceEvent]:
+        rng = random.Random(f"{self.seed}-perm-{src}")
+        t = rng.expovariate(1.0 / self.mean_interarrival_ns)
+        while t < duration_ns:
+            yield TraceEvent(t, src, dst, self.message_bytes)
+            t += rng.expovariate(1.0 / self.mean_interarrival_ns)
+
+
+class HotspotWorkload:
+    """Uniform traffic with a fraction redirected at a few hot hosts.
+
+    Args:
+        num_hosts: Host population.
+        hotspot_fraction: Fraction of messages aimed at a hot host.
+        num_hotspots: How many hosts are hot (host ids 0..num_hotspots-1
+            after seeding-based shuffling).
+        offered_load: Mean injection per host as a fraction of line rate.
+        message_bytes: Message size.
+        line_rate_gbps: Host line rate.
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        num_hosts: int,
+        hotspot_fraction: float = 0.5,
+        num_hotspots: int = 1,
+        offered_load: float = 0.1,
+        message_bytes: int = 16 * 1024,
+        line_rate_gbps: float = 40.0,
+        seed: int = 1,
+    ):
+        if num_hosts < 3:
+            raise ValueError("hotspot traffic needs at least three hosts")
+        if not 0.0 <= hotspot_fraction <= 1.0:
+            raise ValueError("hotspot_fraction must be in [0, 1]")
+        if not 1 <= num_hotspots < num_hosts:
+            raise ValueError("need 1 <= num_hotspots < num_hosts")
+        if not 0.0 < offered_load <= 1.0:
+            raise ValueError("offered_load must be in (0, 1]")
+        self._num_hosts = num_hosts
+        self.hotspot_fraction = hotspot_fraction
+        self.offered_load = offered_load
+        self.message_bytes = message_bytes
+        self.line_rate_gbps = line_rate_gbps
+        self.seed = seed
+        rng = random.Random(f"{seed}-hotspots")
+        hosts = list(range(num_hosts))
+        rng.shuffle(hosts)
+        self.hotspots: Sequence[int] = tuple(sorted(hosts[:num_hotspots]))
+
+    @property
+    def num_hosts(self) -> int:
+        """Number of host endpoints."""
+        return self._num_hosts
+
+    @property
+    def mean_interarrival_ns(self) -> float:
+        """Mean time between one source's message injections, in ns."""
+        rate = self.offered_load * gbps_to_bytes_per_ns(self.line_rate_gbps)
+        return self.message_bytes / rate
+
+    def events(self, duration_ns: float) -> Iterator[TraceEvent]:
+        """Yield time-sorted injection events within [0, duration_ns)."""
+        streams = (self._host_stream(host, duration_ns)
+                   for host in range(self._num_hosts))
+        return merge_event_streams(streams)
+
+    def _host_stream(self, host: int,
+                     duration_ns: float) -> Iterator[TraceEvent]:
+        rng = random.Random(f"{self.seed}-hot-{host}")
+        hot = set(self.hotspots)
+        t = rng.expovariate(1.0 / self.mean_interarrival_ns)
+        while t < duration_ns:
+            dst = self._pick(rng, host, hot)
+            if dst is not None:
+                yield TraceEvent(t, host, dst, self.message_bytes)
+            t += rng.expovariate(1.0 / self.mean_interarrival_ns)
+
+    def _pick(self, rng: random.Random, host: int,
+              hot: set) -> Optional[int]:
+        if rng.random() < self.hotspot_fraction:
+            candidates = [h for h in self.hotspots if h != host]
+            if not candidates:
+                return None
+            return rng.choice(candidates)
+        dst = rng.randrange(self._num_hosts - 1)
+        if dst >= host:
+            dst += 1
+        return dst

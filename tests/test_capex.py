@@ -1,0 +1,75 @@
+"""Capital-expenditure model (the Section 2.2 optics argument)."""
+
+import pytest
+
+from repro.power.capex import CapexModel, DEFAULT_CAPEX_MODEL
+from repro.topology.flattened_butterfly import FlattenedButterfly
+from repro.topology.folded_clos import FoldedClos
+
+
+@pytest.fixture
+def fbfly():
+    return FlattenedButterfly(k=8, n=5)
+
+
+@pytest.fixture
+def clos():
+    return FoldedClos(32 * 1024)
+
+
+class TestStructure:
+    def test_fbfly_cheaper_than_clos(self, fbfly, clos):
+        assert DEFAULT_CAPEX_MODEL.savings(clos, fbfly) > 0
+
+    def test_fbfly_needs_fewer_optics_dollars(self, fbfly, clos):
+        model = DEFAULT_CAPEX_MODEL
+        fb_optics = fbfly.part_counts().optical_links * \
+            model.optical_link_dollars
+        clos_optics = clos.part_counts().optical_links * \
+            model.optical_link_dollars
+        assert fb_optics < 0.7 * clos_optics
+
+    def test_optics_dominate_interconnect_capex(self, clos):
+        # The paper: optical transceivers "tend to dominate the capital
+        # expenditure of the interconnect".
+        assert DEFAULT_CAPEX_MODEL.optical_share(clos) > 0.5
+
+    def test_savings_antisymmetric(self, fbfly, clos):
+        model = DEFAULT_CAPEX_MODEL
+        assert model.savings(clos, fbfly) == pytest.approx(
+            -model.savings(fbfly, clos))
+
+
+class TestModel:
+    def test_cost_components_add_up(self, fbfly):
+        model = CapexModel(switch_chip_dollars=1.0,
+                           optical_link_dollars=1.0,
+                           electrical_link_dollars=1.0,
+                           nic_dollars=1.0)
+        parts = fbfly.part_counts()
+        expected = (parts.switch_chips + parts.optical_links
+                    + parts.electrical_links + fbfly.num_hosts)
+        assert model.interconnect_cost(fbfly) == expected
+
+    def test_free_parts_cost_nothing(self, fbfly):
+        model = CapexModel(switch_chip_dollars=0.0,
+                           optical_link_dollars=0.0,
+                           electrical_link_dollars=0.0,
+                           nic_dollars=0.0)
+        assert model.interconnect_cost(fbfly) == 0.0
+        assert model.optical_share(fbfly) == 0.0
+
+    def test_negative_prices_rejected(self):
+        with pytest.raises(ValueError):
+            CapexModel(optical_link_dollars=-1.0)
+
+    def test_prices_scale_cost_linearly(self, fbfly):
+        base = CapexModel()
+        double = CapexModel(
+            switch_chip_dollars=base.switch_chip_dollars * 2,
+            optical_link_dollars=base.optical_link_dollars * 2,
+            electrical_link_dollars=base.electrical_link_dollars * 2,
+            nic_dollars=base.nic_dollars * 2,
+        )
+        assert double.interconnect_cost(fbfly) == pytest.approx(
+            2 * base.interconnect_cost(fbfly))

@@ -1,0 +1,324 @@
+"""Plesiochronous channel behaviour: serialization, credits, rate changes."""
+
+import pytest
+
+from repro.power.link_rates import RateLadder
+from repro.sim.channel import Channel, ChannelState
+from repro.sim.engine import Simulator
+from repro.sim.packet import Message
+
+
+class SinkNode:
+    """A receive-everything endpoint that returns credits immediately."""
+
+    def __init__(self, auto_credit: bool = True):
+        self.received = []
+        self.auto_credit = auto_credit
+
+    def receive(self, packet, channel):
+        self.received.append((channel.sim.now, packet))
+        if self.auto_credit:
+            channel.release_credits(packet.size_bytes)
+
+    def on_output_space(self, channel):
+        pass
+
+
+def make_channel(sim, sink=None, **kwargs):
+    sink = sink if sink is not None else SinkNode()
+    defaults = dict(propagation_ns=10.0, queue_capacity_bytes=10_000,
+                    credit_bytes=10_000)
+    defaults.update(kwargs)
+    channel = Channel(sim, "test", sink, **defaults)
+    return channel, sink
+
+
+def packet(size=1000, src=0, dst=1):
+    return Message(src, dst, size, 0.0).packetize(size)[0]
+
+
+class TestTransmission:
+    def test_delivery_time_is_serialization_plus_propagation(self):
+        sim = Simulator()
+        channel, sink = make_channel(sim)
+        channel.enqueue(packet(1000))   # 1000 B at 5 B/ns = 200 ns
+        sim.run()
+        arrival, _ = sink.received[0]
+        assert arrival == pytest.approx(200.0 + 10.0)
+
+    def test_packets_deliver_in_fifo_order(self):
+        sim = Simulator()
+        channel, sink = make_channel(sim)
+        first, second = packet(1000), packet(500)
+        channel.enqueue(first)
+        channel.enqueue(second)
+        sim.run()
+        assert [p for _, p in sink.received] == [first, second]
+
+    def test_back_to_back_serialization(self):
+        sim = Simulator()
+        channel, sink = make_channel(sim)
+        channel.enqueue(packet(1000))
+        channel.enqueue(packet(1000))
+        sim.run()
+        times = [t for t, _ in sink.received]
+        assert times[1] - times[0] == pytest.approx(200.0)
+
+    def test_lower_rate_serializes_slower(self):
+        sim = Simulator()
+        channel, sink = make_channel(sim, rate_gbps=2.5)
+        channel.enqueue(packet(1000))   # 1000 B at 0.3125 B/ns = 3200 ns
+        sim.run()
+        arrival, _ = sink.received[0]
+        assert arrival == pytest.approx(3200.0 + 10.0)
+
+    def test_bytes_and_packets_counted(self):
+        sim = Simulator()
+        channel, _ = make_channel(sim)
+        channel.enqueue(packet(1000))
+        channel.enqueue(packet(234))
+        sim.run()
+        assert channel.stats.bytes_sent == 1234
+        assert channel.stats.packets_sent == 2
+
+    def test_busy_time_accumulates(self):
+        sim = Simulator()
+        channel, _ = make_channel(sim)
+        channel.enqueue(packet(1000))
+        sim.run()
+        assert channel.stats.busy_ns == pytest.approx(200.0)
+
+    def test_busy_ns_includes_in_flight(self):
+        sim = Simulator()
+        channel, _ = make_channel(sim)
+        channel.enqueue(packet(1000))
+        sim.run(until_ns=100.0)   # halfway through serialization
+        assert channel.busy_ns() == pytest.approx(100.0)
+
+
+class TestQueue:
+    def test_queue_accounting(self):
+        sim = Simulator()
+        channel, _ = make_channel(sim)
+        channel.enqueue(packet(1000))   # starts transmitting immediately
+        channel.enqueue(packet(500))
+        assert channel.queue_bytes == 500
+        assert channel.queue_packets == 1
+
+    def test_can_enqueue_respects_capacity(self):
+        sim = Simulator()
+        channel, _ = make_channel(sim, queue_capacity_bytes=1000,
+                                  credit_bytes=100)
+        # Credits too small to transmit, so packets stay queued.
+        assert channel.can_enqueue(600)
+        channel.enqueue(packet(600))
+        assert not channel.can_enqueue(600)
+        with pytest.raises(RuntimeError):
+            channel.enqueue(packet(600))
+
+    def test_force_enqueue_bypasses_capacity(self):
+        sim = Simulator()
+        channel, _ = make_channel(sim, queue_capacity_bytes=100,
+                                  credit_bytes=10)
+        channel.enqueue(packet(90))
+        channel.enqueue(packet(90), force=True)
+        assert channel.queue_packets == 2
+
+
+class TestCredits:
+    def test_transmission_blocked_without_credits(self):
+        sim = Simulator()
+        channel, sink = make_channel(sim, credit_bytes=500)
+        channel.enqueue(packet(1000))
+        sim.run()
+        assert sink.received == []
+        assert channel.stats.credit_stalls > 0
+
+    def test_credits_consumed_and_returned(self):
+        sim = Simulator()
+        channel, _ = make_channel(sim, credit_bytes=1000)
+        channel.enqueue(packet(1000))
+        assert channel.credits == 0
+        sim.run()
+        # Sink returned them (after the reverse propagation delay).
+        assert channel.credits == 1000
+
+    def test_credit_return_unblocks_next_packet(self):
+        sim = Simulator()
+        channel, sink = make_channel(sim, credit_bytes=1000)
+        channel.enqueue(packet(1000))
+        channel.enqueue(packet(1000))
+        sim.run()
+        assert len(sink.received) == 2
+
+    def test_credit_overflow_detected(self):
+        sim = Simulator()
+        channel, _ = make_channel(sim, credit_bytes=100)
+        channel.release_credits(200)
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+    def test_no_credit_return_stalls_channel_forever(self):
+        sim = Simulator()
+        sink = SinkNode(auto_credit=False)
+        channel, _ = make_channel(sim, sink=sink, credit_bytes=1000)
+        channel.enqueue(packet(800))
+        channel.enqueue(packet(800))
+        sim.run()
+        assert len(sink.received) == 1   # second packet starved
+
+
+class TestRateChanges:
+    def test_same_rate_is_noop(self):
+        sim = Simulator()
+        channel, _ = make_channel(sim)
+        assert channel.set_rate(40.0, reactivation_ns=1000) is False
+        assert channel.state is ChannelState.ACTIVE
+
+    def test_rate_not_on_ladder_rejected(self):
+        sim = Simulator()
+        channel, _ = make_channel(sim)
+        with pytest.raises(ValueError):
+            channel.set_rate(13.0, reactivation_ns=0)
+
+    def test_reactivation_stalls_transmission(self):
+        sim = Simulator()
+        channel, sink = make_channel(sim)
+        assert channel.set_rate(20.0, reactivation_ns=500) is True
+        assert channel.state is ChannelState.REACTIVATING
+        channel.enqueue(packet(1000))
+        sim.run()
+        arrival, _ = sink.received[0]
+        # 500 ns stall + 1000 B at 2.5 B/ns + 10 ns propagation.
+        assert arrival == pytest.approx(500.0 + 400.0 + 10.0)
+
+    def test_rate_change_waits_for_inflight_packet(self):
+        sim = Simulator()
+        channel, sink = make_channel(sim)
+        channel.enqueue(packet(1000))          # finishes at t=200
+        sim.run(until_ns=50.0)
+        channel.set_rate(20.0, reactivation_ns=100)
+        assert channel.rate_gbps == 40.0       # not yet applied
+        sim.run()
+        assert channel.rate_gbps == 20.0
+        arrival, _ = sink.received[0]
+        assert arrival == pytest.approx(210.0)  # old packet unaffected
+
+    def test_reconfigure_while_reactivating_applies_latest(self):
+        sim = Simulator()
+        channel, _ = make_channel(sim)
+        channel.set_rate(20.0, reactivation_ns=500)
+        sim.run(until_ns=100.0)
+        channel.set_rate(5.0, reactivation_ns=500)
+        sim.run()
+        assert channel.rate_gbps == 5.0
+        assert channel.state is ChannelState.ACTIVE
+
+    def test_zero_reactivation_is_instant(self):
+        sim = Simulator()
+        channel, _ = make_channel(sim)
+        channel.set_rate(10.0, reactivation_ns=0.0)
+        assert channel.state is ChannelState.ACTIVE
+        assert channel.rate_gbps == 10.0
+
+    def test_reactivation_counted(self):
+        sim = Simulator()
+        channel, _ = make_channel(sim)
+        channel.set_rate(20.0, reactivation_ns=100)
+        sim.run()
+        channel.set_rate(10.0, reactivation_ns=100)
+        sim.run()
+        assert channel.stats.reactivations == 2
+        assert channel.stats.reactivation_ns_total == pytest.approx(200.0)
+
+
+class TestTimeAtRate:
+    def test_time_split_across_rates(self):
+        sim = Simulator()
+        channel, _ = make_channel(sim)
+        sim.schedule(300.0, channel.set_rate, 20.0, 0.0)
+        sim.run()
+        channel.stats.finalize(1000.0)
+        assert channel.stats.time_at_rate[40.0] == pytest.approx(300.0)
+        assert channel.stats.time_at_rate[20.0] == pytest.approx(700.0)
+
+    def test_reactivation_charged_to_new_rate(self):
+        sim = Simulator()
+        channel, _ = make_channel(sim)
+        channel.set_rate(2.5, reactivation_ns=400.0)
+        sim.run()
+        channel.stats.finalize(400.0)
+        assert channel.stats.time_at_rate.get(40.0, 0.0) == pytest.approx(0.0)
+        assert channel.stats.time_at_rate[2.5] == pytest.approx(400.0)
+
+
+class TestPowerOff:
+    def test_power_off_and_on(self):
+        sim = Simulator()
+        channel, _ = make_channel(sim)
+        channel.power_off()
+        assert channel.is_off
+        assert not channel.usable
+        assert not channel.can_enqueue(10)
+        channel.power_on(reactivation_ns=100.0)
+        assert channel.state is ChannelState.REACTIVATING
+        sim.run()
+        assert channel.state is ChannelState.ACTIVE
+
+    def test_cannot_power_off_with_traffic(self):
+        sim = Simulator()
+        channel, _ = make_channel(sim)
+        channel.enqueue(packet(1000))
+        with pytest.raises(RuntimeError):
+            channel.power_off()
+
+    def test_off_time_accounted_separately(self):
+        sim = Simulator()
+        channel, _ = make_channel(sim)
+        channel.power_off()
+        channel.stats.finalize(500.0)
+        assert channel.stats.time_at_rate[None] == pytest.approx(500.0)
+
+    def test_enqueue_on_off_channel_rejected(self):
+        sim = Simulator()
+        channel, _ = make_channel(sim)
+        channel.power_off()
+        with pytest.raises(RuntimeError):
+            channel.enqueue(packet(10), force=True)
+
+    def test_set_rate_on_off_channel_rejected(self):
+        sim = Simulator()
+        channel, _ = make_channel(sim)
+        channel.power_off()
+        with pytest.raises(RuntimeError):
+            channel.set_rate(20.0, 0.0)
+
+    def test_power_on_with_new_rate(self):
+        sim = Simulator()
+        channel, _ = make_channel(sim)
+        channel.power_off()
+        channel.power_on(reactivation_ns=0.0, rate_gbps=2.5)
+        assert channel.rate_gbps == 2.5
+
+
+class TestDraining:
+    def test_draining_blocks_new_traffic_but_drains_queue(self):
+        sim = Simulator()
+        channel, sink = make_channel(sim)
+        channel.enqueue(packet(1000))
+        channel.enqueue(packet(1000))
+        channel.draining = True
+        assert not channel.can_enqueue(10)
+        assert not channel.usable
+        sim.run()
+        assert len(sink.received) == 2
+        assert channel.drained
+
+    def test_power_off_after_drain(self):
+        sim = Simulator()
+        channel, _ = make_channel(sim)
+        channel.enqueue(packet(1000))
+        channel.draining = True
+        sim.run()
+        channel.power_off()
+        assert channel.is_off

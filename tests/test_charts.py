@@ -1,0 +1,85 @@
+"""Terminal bar-chart rendering."""
+
+import pytest
+
+from repro.experiments.charts import bar, bar_chart, grouped_bar_chart
+
+
+class TestBar:
+    def test_full_bar(self):
+        assert bar(1.0, 1.0, width=10) == "#" * 10
+
+    def test_empty_bar(self):
+        assert bar(0.0, 1.0, width=10) == "." * 10
+
+    def test_half_bar(self):
+        rendered = bar(0.5, 1.0, width=10)
+        assert rendered == "#" * 5 + "." * 5
+
+    def test_value_clamped_to_scale(self):
+        assert bar(2.0, 1.0, width=4) == "####"
+        assert bar(-1.0, 1.0, width=4) == "...."
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar(0.5, 1.0, width=0)
+        with pytest.raises(ValueError):
+            bar(0.5, 0.0)
+
+
+class TestBarChart:
+    def test_one_line_per_label(self):
+        chart = bar_chart(["a", "bb"], [0.2, 0.8], width=10)
+        lines = chart.split("\n")
+        assert len(lines) == 2
+        assert lines[0].startswith("a ")
+        assert "20.0%" in lines[0]
+
+    def test_title_included(self):
+        chart = bar_chart(["x"], [1.0], title="My Chart")
+        assert chart.split("\n")[0] == "My Chart"
+
+    def test_labels_aligned(self):
+        chart = bar_chart(["a", "long-label"], [0.1, 0.2], width=5)
+        lines = chart.split("\n")
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_auto_scale_uses_max_value(self):
+        chart = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = chart.split("\n")
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty_chart(self):
+        assert bar_chart([], [], title="t") == "t"
+
+    def test_custom_format(self):
+        chart = bar_chart(["a"], [1234.5], fmt="{:.0f}us")
+        assert "1234us" in chart
+
+
+class TestGroupedBarChart:
+    def test_groups_rendered_with_shared_scale(self):
+        chart = grouped_bar_chart(
+            {"g1": {"s": 0.5}, "g2": {"s": 1.0}}, width=10)
+        lines = chart.split("\n")
+        assert lines[0] == "g1:"
+        assert lines[1].count("#") == 5
+        assert lines[3].count("#") == 10
+
+    def test_empty_groups(self):
+        assert grouped_bar_chart({}, title="t") == "t"
+
+    def test_experiment_integration(self):
+        # Figure 7/8 expose format_chart built on these helpers.
+        from repro.experiments.scale import ExperimentScale
+        from repro.experiments import figure7
+        result = figure7.run(scale=ExperimentScale(
+            "chart-test", k=2, n=2, duration_ns=100_000.0))
+        chart = result.format_chart()
+        assert "Figure 7" in chart
+        assert "|" in chart

@@ -1,0 +1,88 @@
+"""The command-line driver."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main, run_experiment
+from repro.experiments.scale import SCALES
+
+
+class TestParser:
+    def test_every_experiment_is_a_choice(self):
+        parser = build_parser()
+        for name in EXPERIMENTS:
+            args = parser.parse_args([name])
+            assert args.experiment == name
+
+    def test_scale_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1", "--scale", "medium"])
+        assert args.scale == "medium"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["table1", "--scale", "galactic"])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure42"])
+
+
+class TestExecution:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_analytic_experiment_runs(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "737,280" in out
+
+    def test_output_directory_written(self, tmp_path, capsys):
+        assert main(["figure1", "--output", str(tmp_path)]) == 0
+        capsys.readouterr()
+        written = (tmp_path / "figure1.txt").read_text()
+        assert "Network share" in written
+
+    def test_run_experiment_formats_header(self):
+        block = run_experiment("table2", SCALES["small"], None)
+        assert block.startswith("[table2]")
+        assert "InfiniBand" in block
+
+    def test_registry_consistency(self):
+        for name, (description, needs_scale, run) in EXPERIMENTS.items():
+            assert description
+            assert callable(run)
+
+    def test_every_result_class_supports_rows(self):
+        # --json serializes result.rows(); every registered experiment's
+        # result type must provide it.  Resolve each run()'s return
+        # annotation-free result class via the module's *Result class.
+        import importlib
+        import inspect
+        for name, (_, _, run) in EXPERIMENTS.items():
+            module = importlib.import_module(run.__module__)
+            result_classes = [
+                obj for obj_name, obj in vars(module).items()
+                if inspect.isclass(obj) and obj_name.endswith("Result")
+                and obj.__module__ == module.__name__
+            ]
+            assert result_classes, f"{name}: no result class found"
+            for cls in result_classes:
+                assert callable(getattr(cls, "rows", None)), \
+                    f"{name}: {cls.__name__} lacks rows()"
+                assert callable(getattr(cls, "format_table", None)), \
+                    f"{name}: {cls.__name__} lacks format_table()"
+
+    def test_json_export(self, tmp_path, capsys):
+        import json
+        assert main(["table1", "--output", str(tmp_path), "--json"]) == 0
+        capsys.readouterr()
+        payload = json.loads((tmp_path / "table1.json").read_text())
+        assert payload["experiment"] == "table1"
+        assert payload["scale"] is None        # analytic experiment
+        assert any("8,235" in cell for row in payload["rows"]
+                   for cell in row)
+
+    def test_json_requires_output_silently_skips(self, capsys):
+        # --json without --output is a no-op rather than an error.
+        assert main(["table2", "--json"]) == 0

@@ -1,0 +1,125 @@
+"""The epoch-based link-rate controller."""
+
+import pytest
+
+from repro.core.controller import ControllerConfig, EpochController
+from repro.core.policies import ThresholdPolicy
+from repro.sim.network import FbflyNetwork, NetworkConfig
+from repro.topology.flattened_butterfly import FlattenedButterfly
+from repro.units import US
+
+
+def make_network(seed=4):
+    return FbflyNetwork(FlattenedButterfly(k=2, n=3), NetworkConfig(seed=seed))
+
+
+class TestControllerConfig:
+    def test_epoch_defaults_to_10x_reactivation(self):
+        config = ControllerConfig(reactivation_ns=2.0 * US)
+        assert config.effective_epoch_ns == 20.0 * US
+
+    def test_explicit_epoch_wins(self):
+        config = ControllerConfig(epoch_ns=5.0 * US, reactivation_ns=1.0 * US)
+        assert config.effective_epoch_ns == 5.0 * US
+
+
+class TestIdleDowngrade:
+    def test_idle_network_detunes_to_minimum(self):
+        net = make_network()
+        EpochController(net, config=ControllerConfig())
+        net.run(until_ns=200.0 * US)   # 20 epochs, no traffic
+        for ch in net.tunable_channels():
+            assert ch.rate_gbps == 2.5
+
+    def test_one_step_per_epoch(self):
+        net = make_network()
+        ctrl = EpochController(net, config=ControllerConfig())
+        # After 2 epochs (20 us) an idle 40G link has stepped down twice.
+        net.run(until_ns=21.0 * US)
+        for ch in net.tunable_channels():
+            assert ch.rate_gbps == 10.0
+        assert ctrl.epochs_run == 2
+
+    def test_reconfigurations_counted(self):
+        net = make_network()
+        ctrl = EpochController(net, config=ControllerConfig())
+        net.run(until_ns=200.0 * US)
+        # 4 downgrade steps per group (40 -> 2.5) on paired groups.
+        expected = 4 * len(ctrl.groups)
+        assert ctrl.reconfigurations == expected
+
+
+class TestLoadResponse:
+    def test_busy_links_upgrade_back(self):
+        net = make_network()
+        EpochController(
+            net, config=ControllerConfig(independent_channels=True))
+        # Let everything fall to the floor first.
+        net.run(until_ns=200.0 * US)
+        uplink = net.host_up[0]
+        assert uplink.rate_gbps == 2.5
+        # Then saturate host 0's uplink for a while.
+        for i in range(60):
+            net.submit(200.0 * US + i * 10.0, src=0, dst=7,
+                       size_bytes=32768)
+        net.run(until_ns=500.0 * US)
+        assert uplink.rate_gbps > 2.5
+
+    def test_traffic_still_delivered_under_control(self):
+        net = make_network()
+        EpochController(net, config=ControllerConfig())
+        n = net.topology.num_hosts
+        for i in range(40):
+            net.submit(i * 1000.0, src=i % n, dst=(i + 3) % n,
+                       size_bytes=4096)
+        stats = net.run()
+        assert stats.delivered_fraction() == pytest.approx(1.0)
+
+
+class TestPairedVsIndependent:
+    def test_paired_groups_share_rate(self):
+        net = make_network()
+        EpochController(net, config=ControllerConfig())
+        # Load only one direction of a link pair heavily.
+        for i in range(60):
+            net.submit(i * 10.0, src=0, dst=7, size_bytes=32768)
+        net.run(until_ns=100.0 * US)
+        for fwd, rev in net.link_pairs():
+            assert fwd.rate_gbps == rev.rate_gbps
+
+    def test_independent_directions_can_diverge(self):
+        net = make_network()
+        EpochController(
+            net, config=ControllerConfig(independent_channels=True))
+        for i in range(200):
+            net.submit(i * 100.0, src=0, dst=7, size_bytes=32768)
+        net.run(until_ns=300.0 * US)
+        diverged = any(fwd.rate_gbps != rev.rate_gbps
+                       for fwd, rev in net.link_pairs())
+        assert diverged
+
+
+class TestLifecycle:
+    def test_stop_halts_decisions(self):
+        net = make_network()
+        ctrl = EpochController(net, config=ControllerConfig())
+        net.run(until_ns=10.5 * US)
+        ctrl.stop()
+        epochs_at_stop = ctrl.epochs_run
+        net.run(until_ns=100.0 * US)
+        assert ctrl.epochs_run == epochs_at_stop
+
+    def test_default_policy_is_paper_threshold(self):
+        net = make_network()
+        ctrl = EpochController(net)
+        assert isinstance(ctrl.policy, ThresholdPolicy)
+        assert ctrl.policy.target_utilization == 0.5
+
+    def test_off_groups_skipped(self):
+        net = make_network()
+        ctrl = EpochController(
+            net, config=ControllerConfig(independent_channels=True))
+        victim = net.inter_switch_channels[0]
+        victim.power_off()
+        net.run(until_ns=50.0 * US)   # must not raise on the off channel
+        assert victim.is_off

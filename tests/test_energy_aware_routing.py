@@ -1,0 +1,93 @@
+"""Energy-aware routing: consolidation without losing traffic."""
+
+import pytest
+
+from repro.core.controller import ControllerConfig, EpochController
+from repro.power.channel_models import IdealChannelPower
+from repro.routing.energy_aware import EnergyAwareRouting
+from repro.sim.network import FbflyNetwork, NetworkConfig
+from repro.sim.packet import Message
+from repro.topology.flattened_butterfly import FlattenedButterfly
+from repro.units import MS
+from repro.workloads.synthetic_traces import search_workload
+
+
+def packet_for(src, dst):
+    return Message(src, dst, 1000, 0.0).packetize(1000)[0]
+
+
+class TestCandidateBias:
+    def test_prefers_fast_channel(self):
+        topo = FlattenedButterfly(k=3, n=3)
+        net = FbflyNetwork(topo, NetworkConfig(seed=23),
+                           routing_factory=EnergyAwareRouting)
+        routing = EnergyAwareRouting(net)
+        dst_switch = topo.switch_index((1, 1))
+        dst_host = list(topo.hosts_of_switch(dst_switch))[0]
+        slow = net.switch_channel(0, topo.switch_index((1, 0)))
+        fast = net.switch_channel(0, topo.switch_index((0, 1)))
+        slow.set_rate(2.5, reactivation_ns=0.0)
+        candidates = routing(net.switches[0], packet_for(0, dst_host))
+        assert candidates[0] is fast
+
+    def test_congestion_still_wins(self):
+        topo = FlattenedButterfly(k=3, n=3)
+        net = FbflyNetwork(topo, NetworkConfig(seed=23),
+                           routing_factory=EnergyAwareRouting)
+        routing = EnergyAwareRouting(net, bias_ns=1000.0)
+        dst_switch = topo.switch_index((1, 1))
+        dst_host = list(topo.hosts_of_switch(dst_switch))[0]
+        slow = net.switch_channel(0, topo.switch_index((1, 0)))
+        fast = net.switch_channel(0, topo.switch_index((0, 1)))
+        slow.set_rate(2.5, reactivation_ns=0.0)
+        # Pile enough onto the fast channel that its drain time swamps
+        # the cold-channel penalty.
+        filler = Message(0, dst_host, 64_000, 0.0)
+        for p in filler.packetize(2048):
+            fast.enqueue(p)
+        candidates = routing(net.switches[0], packet_for(0, dst_host))
+        # The slow-but-empty channel is offered (first or as fallback).
+        assert slow in candidates
+
+    def test_zero_bias_reduces_to_adaptive(self):
+        topo = FlattenedButterfly(k=3, n=3)
+        net = FbflyNetwork(topo, NetworkConfig(seed=23))
+        routing = EnergyAwareRouting(net, bias_ns=0.0)
+        dst_switch = topo.switch_index((2, 2))
+        dst_host = list(topo.hosts_of_switch(dst_switch))[0]
+        candidates = routing(net.switches[0], packet_for(0, dst_host))
+        assert len(candidates) == 2
+
+    def test_negative_bias_rejected(self):
+        topo = FlattenedButterfly(k=2, n=3)
+        net = FbflyNetwork(topo)
+        with pytest.raises(ValueError):
+            EnergyAwareRouting(net, bias_ns=-1.0)
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        topo = FlattenedButterfly(k=3, n=3)
+        duration = 1.0 * MS
+        results = {}
+        for name, factory in (("adaptive", None),
+                              ("energy-aware", EnergyAwareRouting)):
+            net = FbflyNetwork(topo, NetworkConfig(seed=23),
+                               routing_factory=factory)
+            EpochController(net, config=ControllerConfig(
+                independent_channels=True))
+            wl = search_workload(topo.num_hosts, seed=23)
+            net.attach_workload(wl.events(0.7 * duration))
+            results[name] = net.run(until_ns=duration)
+        return results
+
+    def test_traffic_still_delivered(self, runs):
+        assert runs["energy-aware"].delivered_fraction() > \
+            0.95 * runs["adaptive"].delivered_fraction()
+
+    def test_consolidation_does_not_cost_power(self, runs):
+        energy_aware = runs["energy-aware"].power_fraction(
+            IdealChannelPower())
+        adaptive = runs["adaptive"].power_fraction(IdealChannelPower())
+        assert energy_aware <= adaptive * 1.1

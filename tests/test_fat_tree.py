@@ -1,0 +1,121 @@
+"""Fat-tree topology structure."""
+
+import pytest
+
+from repro.topology.fat_tree import FatTree
+
+
+class TestShape:
+    def test_radix4(self):
+        ft = FatTree(radix=4)
+        assert ft.num_hosts == 16          # r^3/4
+        assert ft.num_edge == 8
+        assert ft.num_agg == 8
+        assert ft.num_core == 4
+        assert ft.num_switches == 20
+
+    def test_radix8(self):
+        ft = FatTree(radix=8)
+        assert ft.num_hosts == 128
+        assert ft.num_switches == 80
+
+    def test_host_formula(self):
+        for r in (2, 4, 6, 8, 12):
+            assert FatTree(r).num_hosts == r ** 3 // 4
+
+    def test_odd_radix_rejected(self):
+        with pytest.raises(ValueError):
+            FatTree(5)
+
+    def test_tiny_radix_rejected(self):
+        with pytest.raises(ValueError):
+            FatTree(0)
+
+
+class TestLayout:
+    @pytest.fixture
+    def ft(self):
+        return FatTree(radix=4)
+
+    def test_switch_roles_partition_ids(self, ft):
+        roles = [
+            (ft.is_edge(s), ft.is_agg(s), ft.is_core(s))
+            for s in range(ft.num_switches)
+        ]
+        assert all(sum(r) == 1 for r in roles)
+        assert sum(r[0] for r in roles) == ft.num_edge
+        assert sum(r[2] for r in roles) == ft.num_core
+
+    def test_pod_of(self, ft):
+        assert ft.pod_of(ft.edge_index(2, 1)) == 2
+        assert ft.pod_of(ft.agg_index(3, 0)) == 3
+        with pytest.raises(ValueError):
+            ft.pod_of(ft.core_index(0))
+
+    def test_host_switch(self, ft):
+        assert ft.host_switch(0) == 0
+        assert ft.host_switch(1) == 0
+        assert ft.host_switch(2) == 1
+        assert ft.host_switch(15) == 7
+        with pytest.raises(ValueError):
+            ft.host_switch(16)
+
+    def test_hosts_of_edge(self, ft):
+        assert list(ft.hosts_of_edge(3)) == [6, 7]
+        with pytest.raises(ValueError):
+            ft.hosts_of_edge(ft.agg_index(0, 0))
+
+    def test_core_slots(self, ft):
+        # Cores 0,1 attach to agg slot 0; cores 2,3 to slot 1.
+        assert ft.agg_slot_of_core(ft.core_index(0)) == 0
+        assert ft.agg_slot_of_core(ft.core_index(1)) == 0
+        assert ft.agg_slot_of_core(ft.core_index(2)) == 1
+        assert ft.agg_slot_of_core(ft.core_index(3)) == 1
+
+
+class TestLinks:
+    @pytest.fixture
+    def ft(self):
+        return FatTree(radix=4)
+
+    def test_link_counts(self, ft):
+        links = list(ft.inter_switch_links())
+        assert len(links) == ft.num_inter_switch_links
+        # Per pod: 2 edges x 2 aggs = 4; 4 pods -> 16 edge-agg links.
+        # 4 cores x 4 pods = 16 agg-core links.
+        assert ft.num_inter_switch_links == 32
+
+    def test_every_link_unique(self, ft):
+        links = list(ft.inter_switch_links())
+        assert len({l.endpoints for l in links}) == len(links)
+
+    def test_switch_degrees(self, ft):
+        degree = {s: 0 for s in range(ft.num_switches)}
+        for link in ft.inter_switch_links():
+            degree[link.src] += 1
+            degree[link.dst] += 1
+        for s in range(ft.num_switches):
+            if ft.is_edge(s):
+                assert degree[s] == 2       # r/2 uplinks
+            elif ft.is_agg(s):
+                assert degree[s] == 4       # r/2 down + r/2 up
+            else:
+                assert degree[s] == 4       # one per pod
+
+    def test_parts_and_bisection(self, ft):
+        parts = ft.part_counts()
+        # 16 host links + 16 edge-agg + 16 agg-core.
+        assert parts.total_links == 48
+        assert parts.electrical_links == 32   # host + intra-pod
+        assert parts.optical_links == 16      # pod-to-core
+        assert ft.bisection_bandwidth_gbps(40.0) == 16 * 40.0 / 2
+
+    def test_non_blocking_port_budget(self, ft):
+        # Every switch uses exactly `radix` ports.
+        ports = {s: 0 for s in range(ft.num_switches)}
+        for link in ft.inter_switch_links():
+            ports[link.src] += 1
+            ports[link.dst] += 1
+        for edge in range(ft.num_edge):
+            ports[edge] += ft.hosts_per_edge
+        assert all(p == ft.radix for p in ports.values())

@@ -1,0 +1,187 @@
+"""Flattened-butterfly topology: shape, coordinates, links, Table 1 parts."""
+
+import pytest
+
+from repro.topology.flattened_butterfly import FlattenedButterfly
+
+
+class TestShape:
+    def test_8ary_2flat_from_figure2(self):
+        # Figure 2: "8-ary 2-flat ... 8x8 = 64 nodes and eight 15-port
+        # switch chips".
+        topo = FlattenedButterfly(k=8, n=2)
+        assert topo.num_hosts == 64
+        assert topo.num_switches == 8
+        assert topo.ports_per_switch == 15
+
+    def test_8ary_3flat_from_section_2_1(self):
+        # "yields an 8-ary 3-flat with 8^3 = 512 nodes, and 64 switch
+        # chips each with 22 ports".
+        topo = FlattenedButterfly(k=8, n=3)
+        assert topo.num_hosts == 512
+        assert topo.num_switches == 64
+        assert topo.ports_per_switch == 22
+
+    def test_8ary_5flat_from_section_2_2(self):
+        # "a 32k node 8-ary 5-flat with c = k = 8 requires 36 ports".
+        topo = FlattenedButterfly(k=8, n=5)
+        assert topo.num_hosts == 32768
+        assert topo.num_switches == 4096
+        assert topo.ports_per_switch == 36
+
+    def test_oversubscribed_build_from_figure3(self):
+        # Figure 3: 8-ary 4-flat with c=12 -> 6144 nodes, 33 ports,
+        # 3:2 over-subscription.
+        topo = FlattenedButterfly(k=8, n=4, c=12)
+        assert topo.num_hosts == 6144
+        assert topo.ports_per_switch == 33
+        assert topo.oversubscription == pytest.approx(1.5)
+
+    def test_paper_evaluation_topology(self):
+        # "We model a 15-ary 3-flat FBFLY (3375 nodes)".
+        topo = FlattenedButterfly(k=15, n=3)
+        assert topo.num_hosts == 3375
+        assert topo.num_switches == 225
+
+    def test_single_switch_1flat(self):
+        topo = FlattenedButterfly(k=4, n=1)
+        assert topo.num_switches == 1
+        assert topo.dimensions == 0
+        assert topo.num_hosts == 4
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            FlattenedButterfly(k=1, n=2)
+        with pytest.raises(ValueError):
+            FlattenedButterfly(k=4, n=0)
+        with pytest.raises(ValueError):
+            FlattenedButterfly(k=4, n=2, c=0)
+
+
+class TestCoordinates:
+    def test_roundtrip_all_switches(self):
+        topo = FlattenedButterfly(k=3, n=4)
+        for s in range(topo.num_switches):
+            assert topo.switch_index(topo.coordinate(s)) == s
+
+    def test_coordinate_digits_in_range(self):
+        topo = FlattenedButterfly(k=5, n=3)
+        for s in range(topo.num_switches):
+            assert all(0 <= d < 5 for d in topo.coordinate(s))
+
+    def test_out_of_range_switch_rejected(self):
+        topo = FlattenedButterfly(k=2, n=3)
+        with pytest.raises(ValueError):
+            topo.coordinate(4)
+        with pytest.raises(ValueError):
+            topo.coordinate(-1)
+
+    def test_bad_coordinate_rejected(self):
+        topo = FlattenedButterfly(k=2, n=3)
+        with pytest.raises(ValueError):
+            topo.switch_index((0,))       # wrong arity
+        with pytest.raises(ValueError):
+            topo.switch_index((0, 5))     # digit out of range
+
+    def test_peer_in_dimension_changes_one_digit(self):
+        topo = FlattenedButterfly(k=4, n=3)
+        peer = topo.peer_in_dimension(5, dim=1, digit=3)
+        original = topo.coordinate(5)
+        changed = topo.coordinate(peer)
+        assert changed[1] == 3
+        assert changed[0] == original[0]
+
+    def test_host_switch_mapping(self):
+        topo = FlattenedButterfly(k=4, n=2, c=4)
+        assert topo.host_switch(0) == 0
+        assert topo.host_switch(3) == 0
+        assert topo.host_switch(4) == 1
+        assert list(topo.hosts_of_switch(1)) == [4, 5, 6, 7]
+
+    def test_host_out_of_range(self):
+        topo = FlattenedButterfly(k=2, n=2)
+        with pytest.raises(ValueError):
+            topo.host_switch(4)
+
+
+class TestRouting:
+    def test_differing_dimensions(self):
+        topo = FlattenedButterfly(k=4, n=3)
+        a = topo.switch_index((0, 0))
+        b = topo.switch_index((2, 0))
+        c = topo.switch_index((2, 3))
+        assert topo.differing_dimensions(a, b) == (0,)
+        assert topo.differing_dimensions(a, c) == (0, 1)
+        assert topo.differing_dimensions(a, a) == ()
+
+    def test_minimal_hops_bounded_by_dimensions(self):
+        topo = FlattenedButterfly(k=3, n=4)
+        for src in range(topo.num_switches):
+            for dst in range(topo.num_switches):
+                assert topo.minimal_hops(src, dst) <= topo.dimensions
+
+    def test_rook_move_reaches_destination(self):
+        # Correcting each differing dimension once must land on dst.
+        topo = FlattenedButterfly(k=4, n=3)
+        src, dst = 1, 14
+        current = src
+        for dim in topo.differing_dimensions(src, dst):
+            current = topo.peer_in_dimension(
+                current, dim, topo.coordinate(dst)[dim])
+        assert current == dst
+
+
+class TestLinks:
+    def test_neighbor_count(self):
+        topo = FlattenedButterfly(k=4, n=3)
+        for s in range(topo.num_switches):
+            assert len(topo.neighbors(s)) == (4 - 1) * 2
+
+    def test_each_link_listed_once(self):
+        topo = FlattenedButterfly(k=3, n=3)
+        links = list(topo.inter_switch_links())
+        assert len(links) == topo.num_inter_switch_links
+        assert len({link.endpoints for link in links}) == len(links)
+
+    def test_link_count_formula(self):
+        # S * (k-1) * (n-1) / 2 bidirectional links.
+        topo = FlattenedButterfly(k=8, n=5)
+        assert topo.num_inter_switch_links == 4096 * 7 * 4 // 2
+
+    def test_fully_connected_within_dimension(self):
+        topo = FlattenedButterfly(k=4, n=2)
+        # One dimension, 4 switches: complete graph K4 = 6 links.
+        assert topo.num_inter_switch_links == 6
+
+
+class TestPartsAndBisection:
+    def test_table1_link_split(self):
+        topo = FlattenedButterfly(k=8, n=5)
+        parts = topo.part_counts()
+        assert parts.electrical_links == 47_104
+        assert parts.optical_links == 43_008
+        assert parts.switch_chips == 4096
+        assert parts.switch_chips_powered == 4096
+
+    def test_electrical_port_fraction_42_percent(self):
+        # "15/36 ~ 42% of the FBFLY links are inexpensive ... electrical".
+        topo = FlattenedButterfly(k=8, n=5)
+        assert topo.electrical_port_fraction == pytest.approx(15 / 36)
+
+    def test_bisection_655_tbps(self):
+        topo = FlattenedButterfly(k=8, n=5)
+        assert topo.bisection_bandwidth_gbps(40.0) == pytest.approx(655_360)
+
+    def test_oversubscription_scales_bisection(self):
+        full = FlattenedButterfly(k=8, n=4, c=8)
+        over = FlattenedButterfly(k=8, n=4, c=12)
+        # Per-host bisection drops by k/c.
+        per_host_full = full.bisection_bandwidth_gbps(40.0) / full.num_hosts
+        per_host_over = over.bisection_bandwidth_gbps(40.0) / over.num_hosts
+        assert per_host_over == pytest.approx(per_host_full * 8 / 12)
+
+    def test_2d_topology_has_no_optical_links(self):
+        # A 2-flat's single inter-switch dimension is packaging-local.
+        parts = FlattenedButterfly(k=8, n=2).part_counts()
+        assert parts.optical_links == 0
+        assert parts.electrical_links == 64 + 28

@@ -1,0 +1,81 @@
+"""Folded-Clos comparison topology (Section 2.2 formulas)."""
+
+import pytest
+
+from repro.topology.folded_clos import ClosChassis, FoldedClos
+
+
+class TestChassis:
+    def test_default_chassis_is_324_ports(self):
+        # "we use 27 36-port switches to build a 324-port non-blocking
+        # router chassis".
+        chassis = ClosChassis()
+        assert chassis.external_ports == 324
+
+    def test_invalid_chassis_rejected(self):
+        with pytest.raises(ValueError):
+            ClosChassis(chip_ports=35)     # odd port count
+        with pytest.raises(ValueError):
+            ClosChassis(chips=26)          # not a multiple of 3
+
+
+class TestPaperBuild:
+    """The paper's 32k-host build."""
+
+    @pytest.fixture
+    def clos(self) -> FoldedClos:
+        return FoldedClos(32 * 1024)
+
+    def test_stage_chassis_counts(self, clos):
+        # ceil(32k/324) = 102 and ceil(32k/162) = 203.
+        assert clos.stage3_chassis == 102
+        assert clos.stage2_chassis == 203
+
+    def test_total_chips_8235(self, clos):
+        # "S_clos = 27 x (102 + 203) = 8,235".
+        assert clos.total_chips == 8235
+
+    def test_powered_chips_8192(self, clos):
+        # "only ports on 8,192 switches are used".
+        assert clos.powered_chips == 8192
+
+    def test_table1_links(self, clos):
+        parts = clos.part_counts()
+        assert parts.electrical_links == 49_152
+        assert parts.optical_links == 65_536
+
+    def test_bisection_matches_fbfly(self, clos):
+        assert clos.bisection_bandwidth_gbps(40.0) == pytest.approx(655_360)
+
+    def test_parts_invariants(self, clos):
+        parts = clos.part_counts()
+        assert parts.switch_chips_powered <= parts.switch_chips
+        assert parts.total_links == 49_152 + 65_536
+
+
+class TestScaling:
+    def test_powered_never_exceeds_total(self):
+        for hosts in (100, 324, 1000, 5000, 32768, 65536):
+            clos = FoldedClos(hosts)
+            assert clos.powered_chips <= clos.total_chips
+
+    def test_chips_grow_with_hosts(self):
+        small = FoldedClos(1024).total_chips
+        large = FoldedClos(65536).total_chips
+        assert large > small
+
+    def test_powered_chips_about_quarter_of_hosts(self):
+        # 27 * (N/324 + N/162) = N/4 for the default chassis.
+        for hosts in (324 * 4, 32768, 64800):
+            clos = FoldedClos(hosts)
+            assert clos.powered_chips == pytest.approx(hosts / 4, abs=1)
+
+    def test_at_least_one_host_required(self):
+        with pytest.raises(ValueError):
+            FoldedClos(0)
+
+    def test_optical_dominates_electrical(self):
+        # The Clos needs 2N optical vs 1.5N electrical at any scale — the
+        # cost structure that favors the FBFLY.
+        parts = FoldedClos(10_000).part_counts()
+        assert parts.optical_links > parts.electrical_links

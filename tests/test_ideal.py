@@ -1,0 +1,45 @@
+"""Ideal energy-proportionality references (Section 4.2.1)."""
+
+import pytest
+
+from repro.core.ideal import (
+    always_slowest_power_fraction,
+    ideal_power_fraction,
+    power_dynamic_range,
+)
+from repro.power.channel_models import IdealChannelPower, MeasuredChannelPower
+from repro.sim.stats import ChannelStats, NetworkStats
+
+
+class TestAlwaysSlowest:
+    def test_measured_42_percent(self):
+        # "a network that always operated in the slowest and lowest power
+        # mode would consume 42% of the baseline power".
+        assert always_slowest_power_fraction(MeasuredChannelPower()) == \
+            pytest.approx(0.42)
+
+    def test_ideal_6_25_percent(self):
+        # "(or 6.1% assuming ideal channels)" — linear model gives 6.25%.
+        assert always_slowest_power_fraction(IdealChannelPower()) == \
+            pytest.approx(0.0625)
+
+
+class TestDynamicRange:
+    def test_measured_58_percent(self):
+        assert power_dynamic_range(MeasuredChannelPower()) == \
+            pytest.approx(0.58)
+
+    def test_ideal_93_75_percent(self):
+        assert power_dynamic_range(IdealChannelPower()) == \
+            pytest.approx(0.9375)
+
+
+class TestIdealPower:
+    def test_equals_average_utilization(self):
+        stats = NetworkStats()
+        for i, busy in enumerate((100.0, 300.0)):
+            ch = ChannelStats(name=f"ch{i}", initial_rate=40.0)
+            ch.busy_ns = busy
+            stats.register_channel(ch)
+        stats.finalize(1000.0)
+        assert ideal_power_fraction(stats) == pytest.approx(0.2)

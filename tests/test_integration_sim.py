@@ -1,0 +1,140 @@
+"""Integration: whole-network behaviour under the epoch controller.
+
+These are the end-to-end invariants the paper's results rest on,
+exercised on small networks: energy proportionality works, performance
+is preserved, independent control beats paired control, and the
+always-slowest network fails to carry load.
+"""
+
+import pytest
+
+from repro.core.controller import ControllerConfig, EpochController
+from repro.power.channel_models import IdealChannelPower, MeasuredChannelPower
+from repro.sim.network import FbflyNetwork, NetworkConfig
+from repro.topology.flattened_butterfly import FlattenedButterfly
+from repro.units import MS, US
+from repro.workloads.synthetic_traces import search_workload
+from repro.workloads.uniform import UniformRandomWorkload
+
+DURATION = 1.0 * MS
+
+
+def run_network(topo, workload, controller_config=None, seed=6,
+                initial_rate=None):
+    net = FbflyNetwork(topo, NetworkConfig(
+        seed=seed, initial_rate_gbps=initial_rate))
+    if controller_config is not None:
+        EpochController(net, config=controller_config)
+    net.attach_workload(workload.events(DURATION))
+    return net.run(until_ns=DURATION)
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return FlattenedButterfly(k=3, n=3)   # 27 hosts, 9 switches
+
+
+@pytest.fixture(scope="module")
+def search(topo):
+    return search_workload(topo.num_hosts, seed=6)
+
+
+@pytest.fixture(scope="module")
+def baseline_stats(topo, search):
+    return run_network(topo, search)
+
+
+@pytest.fixture(scope="module")
+def controlled_stats(topo, search):
+    return run_network(topo, search, ControllerConfig())
+
+
+@pytest.fixture(scope="module")
+def independent_stats(topo, search):
+    return run_network(topo, search,
+                       ControllerConfig(independent_channels=True))
+
+
+class TestEnergyProportionalityWorks:
+    def test_controlled_power_far_below_baseline(self, controlled_stats):
+        assert controlled_stats.power_fraction(MeasuredChannelPower()) < 0.7
+        assert controlled_stats.power_fraction(IdealChannelPower()) < 0.35
+
+    def test_baseline_power_is_full(self, baseline_stats):
+        assert baseline_stats.power_fraction(MeasuredChannelPower()) == \
+            pytest.approx(1.0)
+
+    def test_majority_of_time_at_slowest_speed(self, controlled_stats):
+        # Figure 7's headline: "most links spend a majority of their time
+        # in the lowest power/performance state".
+        fractions = controlled_stats.time_at_rate_fractions()
+        assert fractions.get(2.5, 0.0) > 0.5
+
+    def test_power_bounded_below_by_ideal(self, controlled_stats,
+                                          baseline_stats):
+        # No controller can beat the offered-load lower bound.
+        ideal = baseline_stats.average_utilization()
+        measured = controlled_stats.power_fraction(IdealChannelPower())
+        assert measured > ideal * 0.9
+
+    def test_independent_beats_paired(self, independent_stats,
+                                      controlled_stats):
+        assert (independent_stats.power_fraction(IdealChannelPower())
+                < controlled_stats.power_fraction(IdealChannelPower()))
+
+    def test_independent_halves_fast_time(self, independent_stats,
+                                          controlled_stats):
+        def fast_time(stats):
+            return sum(frac for rate, frac
+                       in stats.time_at_rate_fractions().items()
+                       if rate is not None and rate >= 10.0)
+        assert fast_time(independent_stats) < 0.8 * fast_time(
+            controlled_stats)
+
+
+class TestPerformancePreserved:
+    def test_throughput_delivered(self, controlled_stats, baseline_stats):
+        # Within-run truncation (in-flight messages at the horizon) makes
+        # delivered fractions noisy at 1 ms; require near-parity.
+        assert controlled_stats.delivered_fraction() > \
+            0.9 * baseline_stats.delivered_fraction()
+        assert controlled_stats.delivered_fraction() > 0.7
+
+    def test_added_latency_small(self, controlled_stats, baseline_stats):
+        added = (controlled_stats.mean_message_latency_ns()
+                 - baseline_stats.mean_message_latency_ns())
+        # Paper: 10-50 us at this operating point; allow a loose band.
+        assert added < 200.0 * US
+
+    def test_no_escapes_in_calibrated_run(self, controlled_stats):
+        assert controlled_stats.escapes == 0
+
+
+class TestAlwaysSlowestFails:
+    def test_cannot_keep_up_with_uniform_load(self, topo):
+        workload = UniformRandomWorkload(
+            topo.num_hosts, offered_load=0.25, seed=6)
+        stats = run_network(topo, workload, initial_rate=2.5)
+        # 25% offered load >> 2.5/40 = 6.25% capacity: backlog must grow.
+        assert stats.delivered_fraction() < 0.5
+
+    def test_baseline_carries_the_same_load(self, topo):
+        workload = UniformRandomWorkload(
+            topo.num_hosts, offered_load=0.25, seed=6)
+        stats = run_network(topo, workload)
+        assert stats.delivered_fraction() > 0.85
+
+
+class TestTargetUtilizationTradeoff:
+    def test_higher_target_saves_no_less_power(self, topo, search):
+        low = run_network(topo, search,
+                          ControllerConfig(), seed=8)
+        # Re-run with a different policy target via explicit controller.
+        from repro.core.policies import ThresholdPolicy
+        net = FbflyNetwork(topo, NetworkConfig(seed=8))
+        EpochController(net, policy=ThresholdPolicy(0.75),
+                        config=ControllerConfig())
+        net.attach_workload(search.events(DURATION))
+        high = net.run(until_ns=DURATION)
+        assert (high.power_fraction(IdealChannelPower())
+                <= low.power_fraction(IdealChannelPower()) * 1.1)

@@ -1,0 +1,65 @@
+"""The fabric invariant checker."""
+
+import pytest
+
+from repro.core.controller import ControllerConfig, EpochController
+from repro.sim.invariants import InvariantReport, check_fabric
+from repro.sim.network import FbflyNetwork, NetworkConfig
+from repro.topology.flattened_butterfly import FlattenedButterfly
+from repro.units import MS
+from repro.workloads.synthetic_traces import search_workload
+
+
+class TestReport:
+    def test_empty_report_ok(self):
+        report = InvariantReport()
+        assert report.ok
+        report.raise_if_violated()
+
+    def test_expect_records_failures(self):
+        report = InvariantReport()
+        report.expect(True, "fine")
+        report.expect(False, "broken thing")
+        assert not report.ok
+        with pytest.raises(AssertionError, match="broken thing"):
+            report.raise_if_violated()
+
+
+class TestCheckFabric:
+    def test_clean_drained_network(self, tiny_network):
+        for i in range(10):
+            tiny_network.submit(i * 100.0, src=i % 8, dst=(i + 3) % 8,
+                                size_bytes=4096)
+        tiny_network.run()
+        check_fabric(tiny_network).raise_if_violated()
+
+    def test_idle_network_clean(self, tiny_network):
+        tiny_network.run()
+        check_fabric(tiny_network).raise_if_violated()
+
+    def test_mid_run_skips_drain_checks(self, tiny_network):
+        tiny_network.submit(0.0, 0, 7, 200_000)
+        tiny_network.run(until_ns=1000.0)   # mid-flight
+        report = check_fabric(tiny_network, drained=False)
+        report.raise_if_violated()
+
+    def test_mid_run_fails_drain_checks(self, tiny_network):
+        tiny_network.submit(0.0, 0, 7, 500_000)
+        tiny_network.run(until_ns=1000.0)
+        assert not check_fabric(tiny_network, drained=True).ok
+
+    def test_controlled_run_stays_clean(self):
+        topo = FlattenedButterfly(k=3, n=3)
+        net = FbflyNetwork(topo, NetworkConfig(seed=17))
+        EpochController(net, config=ControllerConfig(
+            independent_channels=True))
+        wl = search_workload(topo.num_hosts, seed=17)
+        net.attach_workload(wl.events(0.5 * MS))
+        net.run()   # drains: injection ends, daemons don't hold it open
+        check_fabric(net).raise_if_violated()
+
+    def test_detects_corrupted_credit_counter(self, tiny_network):
+        tiny_network.run()
+        channel = tiny_network.host_up[0]
+        channel._credits = channel.credit_limit + 1
+        assert not check_fabric(tiny_network).ok

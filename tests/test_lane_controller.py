@@ -1,0 +1,122 @@
+"""The lane-aware epoch controller."""
+
+import pytest
+
+from repro.core.lane_controller import (
+    LaneAwareController,
+    LaneControllerConfig,
+)
+from repro.power.lanes import (
+    LaneConfig,
+    LaneModePower,
+    ReactivationModel,
+)
+from repro.power.link_rates import RateLadder
+from repro.sim.network import FbflyNetwork, NetworkConfig
+from repro.topology.flattened_butterfly import FlattenedButterfly
+from repro.units import MS, US
+from repro.workloads.synthetic_traces import search_workload
+
+
+def make_network(seed=31):
+    return FbflyNetwork(FlattenedButterfly(k=2, n=3),
+                        NetworkConfig(seed=seed))
+
+
+def make_controller(net, **overrides):
+    defaults = dict(epoch_ns=10.0 * US, independent_channels=True)
+    defaults.update(overrides)
+    return LaneAwareController(net, LaneControllerConfig(**defaults))
+
+
+class TestDescent:
+    def test_idle_network_descends_to_1x_sdr(self):
+        net = make_network()
+        ctrl = make_controller(net)
+        net.run(until_ns=200.0 * US)
+        for group in ctrl.groups:
+            assert ctrl.group_config(group) == LaneConfig(2.5, 1)
+        for ch in net.tunable_channels():
+            assert ch.rate_gbps == 2.5
+
+    def test_descent_goes_through_narrow_configs(self):
+        # Idle descent: 4x10G -> 4x5G (clock-only) -> 1x10G (lane drop to
+        # the narrow-fast 10G point) after two epochs.
+        net = make_network()
+        ctrl = make_controller(net)
+        net.run(until_ns=25.0 * US)   # two epochs at 10 us
+        group = ctrl.groups[0]
+        assert ctrl.group_config(group) == LaneConfig(10.0, 1)
+
+    def test_stall_accounting_tracks_transition_costs(self):
+        net = make_network()
+        ctrl = make_controller(net)
+        net.run(until_ns=200.0 * US)
+        assert ctrl.reconfigurations > 0
+        assert ctrl.reconfiguration_stall_ns > 0
+        # Average stall per reconfiguration must be far below the
+        # uniform 1 us the scalar controller assumes (most transitions
+        # are clock-only 100 ns; one per descent is a 2 us lane change).
+        mean_stall = ctrl.reconfiguration_stall_ns / ctrl.reconfigurations
+        assert mean_stall < 1000.0
+
+
+class TestLoadResponse:
+    def test_traffic_drives_configs_back_up(self):
+        net = make_network()
+        ctrl = make_controller(net)
+        net.run(until_ns=200.0 * US)   # descend fully
+        for i in range(120):
+            net.submit(200.0 * US + i * 10.0, src=0, dst=7,
+                       size_bytes=32768)
+        net.run(until_ns=400.0 * US)
+        uplink_group = next(
+            g for g in ctrl.groups
+            if any(ch is net.host_up[0] for ch in g.channels))
+        assert ctrl.group_config(uplink_group).gbps > 2.5
+
+    def test_power_accounted_per_mode(self):
+        net = make_network()
+        make_controller(net)
+        wl = search_workload(net.topology.num_hosts, seed=31)
+        net.attach_workload(wl.events(0.5 * MS))
+        stats = net.run(until_ns=0.5 * MS)
+        power = stats.power_fraction(LaneModePower())
+        assert 0.42 <= power < 1.0
+
+    def test_delivery_preserved(self):
+        net = make_network()
+        make_controller(net)
+        wl = search_workload(net.topology.num_hosts, seed=31)
+        net.attach_workload(wl.events(0.4 * MS))
+        stats = net.run()   # drain fully
+        assert stats.delivered_fraction() == pytest.approx(1.0)
+
+
+class TestConfiguration:
+    def test_incompatible_channel_ladder_rejected(self):
+        topo = FlattenedButterfly(k=2, n=2)
+        net = FbflyNetwork(topo, NetworkConfig(
+            ladder=RateLadder((2.5, 40.0))))
+        with pytest.raises(ValueError):
+            LaneAwareController(net)
+
+    def test_default_epoch_covers_worst_transition(self):
+        config = LaneControllerConfig(
+            reactivation=ReactivationModel(lane_change_ns=3000.0))
+        assert config.effective_epoch_ns == 30_000.0
+
+    def test_paired_mode_groups_pairs(self):
+        net = make_network()
+        ctrl = LaneAwareController(net, LaneControllerConfig(
+            epoch_ns=10.0 * US, independent_channels=False))
+        assert all(len(g.channels) == 2 for g in ctrl.groups)
+
+    def test_stop(self):
+        net = make_network()
+        ctrl = make_controller(net)
+        net.run(until_ns=15.0 * US)
+        ctrl.stop()
+        epochs = ctrl.epochs_run
+        net.run(until_ns=100.0 * US)
+        assert ctrl.epochs_run == epochs

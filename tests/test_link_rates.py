@@ -1,0 +1,104 @@
+"""InfiniBand rate table (Table 2) and the RateLadder."""
+
+import pytest
+
+from repro.power.link_rates import (
+    DEFAULT_RATE_LADDER,
+    INFINIBAND_RATES,
+    InfiniBandRate,
+    RateLadder,
+)
+
+
+class TestInfiniBandTable:
+    """Table 2 of the paper."""
+
+    def test_six_rates_defined(self):
+        assert len(INFINIBAND_RATES) == 6
+
+    def test_aggregate_rates_match_table2(self):
+        by_name = {r.name: r.gbps for r in INFINIBAND_RATES}
+        assert by_name == {
+            "1x SDR": 2.5, "4x SDR": 10.0,
+            "1x DDR": 5.0, "4x DDR": 20.0,
+            "1x QDR": 10.0, "4x QDR": 40.0,
+        }
+
+    def test_max_rate_is_40gbps_4x_qdr(self):
+        fastest = max(INFINIBAND_RATES, key=lambda r: r.gbps)
+        assert fastest.name == "4x QDR"
+        assert fastest.gbps == 40.0
+
+    def test_aggregate_is_lanes_times_lane_rate(self):
+        rate = InfiniBandRate("test", lanes=4, gbps_per_lane=5.0)
+        assert rate.gbps == 20.0
+
+
+class TestRateLadder:
+    def test_default_ladder_matches_paper(self):
+        # "detuned to 20, 10, 5 and 2.5 Gb/s" from a 40 Gb/s maximum.
+        assert DEFAULT_RATE_LADDER.rates == (2.5, 5.0, 10.0, 20.0, 40.0)
+
+    def test_min_max(self):
+        assert DEFAULT_RATE_LADDER.min_rate == 2.5
+        assert DEFAULT_RATE_LADDER.max_rate == 40.0
+
+    def test_step_down_halves(self):
+        assert DEFAULT_RATE_LADDER.step_down(40.0) == 20.0
+        assert DEFAULT_RATE_LADDER.step_down(5.0) == 2.5
+
+    def test_step_down_clamps_at_minimum(self):
+        assert DEFAULT_RATE_LADDER.step_down(2.5) == 2.5
+
+    def test_step_up_doubles(self):
+        assert DEFAULT_RATE_LADDER.step_up(2.5) == 5.0
+        assert DEFAULT_RATE_LADDER.step_up(20.0) == 40.0
+
+    def test_step_up_clamps_at_maximum(self):
+        assert DEFAULT_RATE_LADDER.step_up(40.0) == 40.0
+
+    def test_contains(self):
+        assert 10.0 in DEFAULT_RATE_LADDER
+        assert 15.0 not in DEFAULT_RATE_LADDER
+
+    def test_iteration_ascending(self):
+        rates = list(DEFAULT_RATE_LADDER)
+        assert rates == sorted(rates)
+
+    def test_len(self):
+        assert len(DEFAULT_RATE_LADDER) == 5
+
+    def test_clamp_picks_highest_not_exceeding(self):
+        assert DEFAULT_RATE_LADDER.clamp(15.0) == 10.0
+        assert DEFAULT_RATE_LADDER.clamp(40.0) == 40.0
+        assert DEFAULT_RATE_LADDER.clamp(100.0) == 40.0
+
+    def test_clamp_below_minimum_returns_minimum(self):
+        assert DEFAULT_RATE_LADDER.clamp(1.0) == 2.5
+
+    def test_unsorted_input_is_sorted(self):
+        ladder = RateLadder((10.0, 2.5, 40.0))
+        assert ladder.rates == (2.5, 10.0, 40.0)
+
+    def test_duplicates_removed(self):
+        ladder = RateLadder((10.0, 10.0, 20.0))
+        assert ladder.rates == (10.0, 20.0)
+
+    def test_index_of_missing_rate_raises(self):
+        with pytest.raises(ValueError):
+            DEFAULT_RATE_LADDER.index(13.0)
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(ValueError):
+            RateLadder(())
+
+    def test_non_positive_rates_rejected(self):
+        with pytest.raises(ValueError):
+            RateLadder((0.0, 10.0))
+        with pytest.raises(ValueError):
+            RateLadder((-5.0,))
+
+    def test_single_rate_ladder(self):
+        ladder = RateLadder((40.0,))
+        assert ladder.step_up(40.0) == 40.0
+        assert ladder.step_down(40.0) == 40.0

@@ -1,0 +1,96 @@
+"""Per-switch local controllers: the locality demonstration."""
+
+import pytest
+
+from repro.core.controller import ControllerConfig, EpochController
+from repro.core.local_controller import SwitchLocalControllers
+from repro.power.channel_models import IdealChannelPower
+from repro.sim.network import FbflyNetwork, NetworkConfig
+from repro.topology.flattened_butterfly import FlattenedButterfly
+from repro.units import MS, US
+from repro.workloads.synthetic_traces import search_workload
+
+
+def run_with(controller_kind: str, seed=47, duration=0.5 * MS):
+    topo = FlattenedButterfly(k=3, n=3)
+    net = FbflyNetwork(topo, NetworkConfig(seed=seed))
+    config = ControllerConfig(independent_channels=True)
+    if controller_kind == "global":
+        ctrl = EpochController(net, config=config)
+        reconfig = lambda: ctrl.reconfigurations
+    else:
+        fleet = SwitchLocalControllers.deploy(net, config=config)
+        reconfig = lambda: fleet.total_reconfigurations
+    wl = search_workload(topo.num_hosts, seed=seed)
+    net.attach_workload(wl.events(duration))
+    stats = net.run(until_ns=duration)
+    rates = {ch.name: ch.rate_gbps for ch in net.tunable_channels()}
+    return stats, rates, reconfig()
+
+
+class TestLocalityEquivalence:
+    """One controller per chip must reproduce the global controller."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        return run_with("global"), run_with("local")
+
+    def test_identical_final_rates(self, runs):
+        (_, global_rates, _), (_, local_rates, _) = runs
+        assert global_rates == local_rates
+
+    def test_identical_power(self, runs):
+        (global_stats, _, _), (local_stats, _, _) = runs
+        assert global_stats.power_fraction(IdealChannelPower()) == \
+            pytest.approx(local_stats.power_fraction(IdealChannelPower()))
+
+    def test_identical_reconfiguration_counts(self, runs):
+        (_, _, global_count), (_, _, local_count) = runs
+        assert global_count == local_count
+
+    def test_identical_delivery(self, runs):
+        (global_stats, _, _), (local_stats, _, _) = runs
+        assert global_stats.bytes_delivered == local_stats.bytes_delivered
+
+
+class TestDeployment:
+    def test_every_tunable_channel_owned_once(self):
+        topo = FlattenedButterfly(k=2, n=3)
+        net = FbflyNetwork(topo, NetworkConfig(seed=3))
+        fleet = SwitchLocalControllers.deploy(net)
+        owned = []
+        for controller in fleet.controllers:
+            for group in controller.groups:
+                owned.extend(ch.name for ch in group.channels)
+        assert sorted(owned) == sorted(
+            ch.name for ch in net.tunable_channels())
+
+    def test_one_controller_per_chip_and_nic(self):
+        topo = FlattenedButterfly(k=2, n=3)
+        net = FbflyNetwork(topo, NetworkConfig(seed=3))
+        fleet = SwitchLocalControllers.deploy(net)
+        assert len(fleet.controllers) == \
+            topo.num_switches + topo.num_hosts
+
+    def test_paired_control_rejected(self):
+        topo = FlattenedButterfly(k=2, n=2)
+        net = FbflyNetwork(topo)
+        with pytest.raises(ValueError):
+            SwitchLocalControllers.deploy(
+                net, config=ControllerConfig(independent_channels=False))
+
+    def test_untunable_host_links_skip_nic_controllers(self):
+        topo = FlattenedButterfly(k=2, n=3)
+        net = FbflyNetwork(topo, NetworkConfig(host_links_tunable=False))
+        fleet = SwitchLocalControllers.deploy(net)
+        assert len(fleet.controllers) == topo.num_switches
+
+    def test_stop_halts_the_fleet(self):
+        topo = FlattenedButterfly(k=2, n=2)
+        net = FbflyNetwork(topo)
+        fleet = SwitchLocalControllers.deploy(net)
+        net.run(until_ns=15.0 * US)
+        fleet.stop()
+        counts = [c.epochs_run for c in fleet.controllers]
+        net.run(until_ns=100.0 * US)
+        assert [c.epochs_run for c in fleet.controllers] == counts

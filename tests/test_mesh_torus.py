@@ -1,0 +1,91 @@
+"""Mesh/torus link classification for dynamic topologies (Section 5.1)."""
+
+import pytest
+
+from repro.topology.flattened_butterfly import FlattenedButterfly
+from repro.topology.mesh_torus import (
+    LinkClass,
+    classify_link,
+    classify_links,
+    link_class_counts,
+    mesh_link_set,
+    torus_link_set,
+)
+
+
+@pytest.fixture
+def topo() -> FlattenedButterfly:
+    return FlattenedButterfly(k=4, n=3)
+
+
+class TestClassification:
+    def test_every_link_classified(self, topo):
+        classified = classify_links(topo)
+        assert len(classified) == topo.num_inter_switch_links
+
+    def test_counts_per_dimension_ring(self, topo):
+        # Per ring of k=4: 3 mesh links, 1 wrap, K4 has 6 links -> 2 express.
+        counts = link_class_counts(topo)
+        rings = topo.num_switches * topo.dimensions // topo.k
+        assert counts[LinkClass.MESH] == 3 * rings
+        assert counts[LinkClass.TORUS_WRAP] == 1 * rings
+        assert counts[LinkClass.EXPRESS] == 2 * rings
+
+    def test_adjacent_link_is_mesh(self, topo):
+        for link in topo.inter_switch_links():
+            a = topo.coordinate(link.src)[link.dimension]
+            b = topo.coordinate(link.dst)[link.dimension]
+            if abs(a - b) == 1:
+                assert classify_link(topo, link) is LinkClass.MESH
+
+    def test_wrap_link_connects_extremes(self, topo):
+        for link in topo.inter_switch_links():
+            if classify_link(topo, link) is LinkClass.TORUS_WRAP:
+                digits = sorted((topo.coordinate(link.src)[link.dimension],
+                                 topo.coordinate(link.dst)[link.dimension]))
+                assert digits == [0, topo.k - 1]
+
+    def test_k2_has_no_wrap_or_express(self):
+        # With k=2, the single link per ring is adjacent (mesh); there is
+        # nothing to wrap.
+        counts = link_class_counts(FlattenedButterfly(k=2, n=3))
+        assert counts[LinkClass.TORUS_WRAP] == 0
+        assert counts[LinkClass.EXPRESS] == 0
+
+    def test_k3_ring_has_wrap_but_no_express(self):
+        # K3 is already a ring: 2 mesh + 1 wrap.
+        counts = link_class_counts(FlattenedButterfly(k=3, n=2))
+        assert counts[LinkClass.MESH] == 2
+        assert counts[LinkClass.TORUS_WRAP] == 1
+        assert counts[LinkClass.EXPRESS] == 0
+
+
+class TestLinkSets:
+    def test_mesh_subset_of_torus(self, topo):
+        assert mesh_link_set(topo) <= torus_link_set(topo)
+
+    def test_torus_subset_of_all(self, topo):
+        all_links = {l.endpoints for l in topo.inter_switch_links()}
+        assert torus_link_set(topo) <= all_links
+
+    def test_mesh_keeps_network_connected(self, topo):
+        # Walk the mesh: every switch reaches switch 0 via adjacent steps.
+        mesh = mesh_link_set(topo)
+        adjacency = {s: set() for s in range(topo.num_switches)}
+        for a, b in mesh:
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            node = frontier.pop()
+            for peer in adjacency[node]:
+                if peer not in seen:
+                    seen.add(peer)
+                    frontier.append(peer)
+        assert len(seen) == topo.num_switches
+
+    def test_torus_adds_exactly_the_wraps(self, topo):
+        extra = torus_link_set(topo) - mesh_link_set(topo)
+        counts = link_class_counts(topo)
+        assert len(extra) == counts[LinkClass.TORUS_WRAP]

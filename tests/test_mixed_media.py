@@ -1,0 +1,88 @@
+"""Medium tagging and medium-aware power pricing."""
+
+import pytest
+
+from repro.power.channel_models import (
+    MeasuredChannelPower,
+    MediumAwareChannelPower,
+)
+from repro.power.switch_profile import LinkMedium
+from repro.sim.clos_network import FatTreeNetwork
+from repro.sim.network import FbflyNetwork, NetworkConfig
+from repro.sim.stats import ChannelStats
+from repro.topology.fat_tree import FatTree
+from repro.topology.flattened_butterfly import FlattenedButterfly
+
+
+class TestMediumAwareModel:
+    def test_optical_full_rate_is_unity(self):
+        model = MediumAwareChannelPower()
+        assert model.power_for(40.0, LinkMedium.OPTICAL) == 1.0
+
+    def test_copper_25_percent_cheaper(self):
+        model = MediumAwareChannelPower()
+        for rate in (2.5, 5.0, 10.0, 20.0, 40.0):
+            assert model.power_for(rate, LinkMedium.COPPER) == \
+                pytest.approx(0.75 * model.power_for(
+                    rate, LinkMedium.OPTICAL))
+
+    def test_plain_power_defaults_to_optical(self):
+        model = MediumAwareChannelPower()
+        assert model.power(2.5) == model.power_for(2.5, LinkMedium.OPTICAL)
+
+
+class TestChannelStatsMediumDispatch:
+    def test_tagged_channel_priced_on_its_medium(self):
+        stats = ChannelStats(name="c", initial_rate=40.0,
+                             medium=LinkMedium.COPPER)
+        stats.finalize(100.0)
+        energy = stats.energy(MediumAwareChannelPower())
+        assert energy == pytest.approx(75.0)
+
+    def test_untagged_channel_uses_plain_power(self):
+        stats = ChannelStats(name="c", initial_rate=40.0)
+        stats.finalize(100.0)
+        assert stats.energy(MediumAwareChannelPower()) == \
+            pytest.approx(100.0)
+
+    def test_medium_ignored_by_medium_blind_models(self):
+        stats = ChannelStats(name="c", initial_rate=40.0,
+                             medium=LinkMedium.COPPER)
+        stats.finalize(100.0)
+        assert stats.energy(MeasuredChannelPower()) == pytest.approx(100.0)
+
+
+class TestFabricTagging:
+    def test_fbfly_dimension0_is_copper(self):
+        topo = FlattenedButterfly(k=3, n=3)
+        net = FbflyNetwork(topo, NetworkConfig(seed=1))
+        for link in topo.inter_switch_links():
+            medium = net.switch_channel(link.src, link.dst).stats.medium
+            expected = (LinkMedium.COPPER if link.dimension == 0
+                        else LinkMedium.OPTICAL)
+            assert medium is expected
+
+    def test_fbfly_host_links_copper(self):
+        net = FbflyNetwork(FlattenedButterfly(k=2, n=2))
+        assert all(ch.stats.medium is LinkMedium.COPPER
+                   for ch in net.host_up + net.host_down)
+
+    def test_fbfly_copper_port_share_matches_paper_at_5flat_shape(self):
+        # The paper's 8-ary 5-flat has 42% electrical ports; our per-
+        # channel tagging must agree with the analytic part counts.
+        topo = FlattenedButterfly(k=3, n=4)
+        net = FbflyNetwork(topo, NetworkConfig(seed=1))
+        copper = sum(1 for ch in net.all_channels()
+                     if ch.stats.medium is LinkMedium.COPPER)
+        parts = topo.part_counts()
+        assert copper == 2 * parts.electrical_links
+
+    def test_fat_tree_core_links_optical(self):
+        topo = FatTree(radix=4)
+        net = FatTreeNetwork(topo)
+        for link in topo.agg_core_links():
+            assert net.switch_channel(
+                link.src, link.dst).stats.medium is LinkMedium.OPTICAL
+        for link in topo.edge_agg_links():
+            assert net.switch_channel(
+                link.src, link.dst).stats.medium is LinkMedium.COPPER

@@ -1,0 +1,69 @@
+"""Multi-tenant workload mixing (Section 6's shared-fabric argument)."""
+
+import pytest
+
+from repro.core.controller import ControllerConfig, EpochController
+from repro.power.channel_models import IdealChannelPower
+from repro.sim.network import FbflyNetwork, NetworkConfig
+from repro.topology.flattened_butterfly import FlattenedButterfly
+from repro.units import MS
+from repro.workloads.mixed import MixedWorkload
+from repro.workloads.synthetic_traces import advert_workload, search_workload
+from repro.workloads.uniform import UniformRandomWorkload
+
+
+class TestMixedWorkload:
+    def test_merge_is_sorted_superposition(self):
+        a = UniformRandomWorkload(16, offered_load=0.1, seed=1)
+        b = UniformRandomWorkload(16, offered_load=0.1, seed=2)
+        mixed = MixedWorkload([a, b])
+        duration = 500_000.0
+        merged = list(mixed.events(duration))
+        assert len(merged) == (len(list(a.events(duration)))
+                               + len(list(b.events(duration))))
+        times = [e.time_ns for e in merged]
+        assert times == sorted(times)
+
+    def test_host_count_must_agree(self):
+        with pytest.raises(ValueError):
+            MixedWorkload([UniformRandomWorkload(16),
+                           UniformRandomWorkload(8)])
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError):
+            MixedWorkload([])
+
+    def test_num_hosts_exposed(self):
+        mixed = MixedWorkload([UniformRandomWorkload(16)])
+        assert mixed.num_hosts == 16
+
+
+class TestMultiTenantFabric:
+    """Search and Advert sharing one fabric: the controller needs no
+    per-job knowledge (the paper's argument against MPI-style link
+    scheduling)."""
+
+    @pytest.fixture(scope="class")
+    def stats(self):
+        topo = FlattenedButterfly(k=3, n=3)
+        net = FbflyNetwork(topo, NetworkConfig(seed=61))
+        EpochController(net, config=ControllerConfig(
+            independent_channels=True))
+        mixed = MixedWorkload([
+            search_workload(topo.num_hosts, seed=61),
+            advert_workload(topo.num_hosts, seed=62),
+        ])
+        net.attach_workload(mixed.events(0.7 * MS))
+        return net.run(until_ns=1.0 * MS)
+
+    def test_combined_load_is_the_sum(self, stats):
+        # Two ~5-6% services sharing the fabric: ~10-14% utilization.
+        assert 0.05 < stats.average_utilization() < 0.25
+
+    def test_power_still_tracks_aggregate_load(self, stats):
+        power = stats.power_fraction(IdealChannelPower())
+        assert power < 0.45
+        assert power > stats.average_utilization() * 0.8
+
+    def test_both_tenants_delivered(self, stats):
+        assert stats.delivered_fraction() > 0.9

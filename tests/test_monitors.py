@@ -1,0 +1,83 @@
+"""Power and congestion time-series monitors."""
+
+import pytest
+
+from repro.core.controller import ControllerConfig, EpochController
+from repro.power.channel_models import MeasuredChannelPower
+from repro.sim.monitors import CongestionMonitor, PowerMonitor
+from repro.sim.network import FbflyNetwork, NetworkConfig
+from repro.topology.flattened_butterfly import FlattenedButterfly
+from repro.units import MS, US
+from repro.workloads.synthetic_traces import search_workload
+
+
+def make_network(seed=19):
+    return FbflyNetwork(FlattenedButterfly(k=2, n=3),
+                        NetworkConfig(seed=seed))
+
+
+class TestPowerMonitor:
+    def test_baseline_power_is_unity(self):
+        net = make_network()
+        monitor = PowerMonitor(net, period_ns=10.0 * US)
+        net.submit(0.0, 0, 7, 50_000)
+        net.run(until_ns=0.2 * MS)
+        assert monitor.samples
+        assert all(p == pytest.approx(1.0)
+                   for p in monitor.power_fractions)
+
+    def test_power_descends_under_controller(self):
+        net = make_network()
+        EpochController(net, config=ControllerConfig())
+        # Sample faster than the 10 us control epoch so the first sample
+        # still sees the full-rate configuration.
+        monitor = PowerMonitor(net, model=MeasuredChannelPower(),
+                               period_ns=4.0 * US)
+        net.run(until_ns=0.3 * MS)   # idle: everything detunes
+        assert monitor.peak() == pytest.approx(1.0, abs=0.05)
+        assert monitor.trough() == pytest.approx(0.42, abs=0.02)
+        # Monotone non-increasing descent on an idle network.
+        powers = monitor.power_fractions
+        assert all(a >= b - 1e-9 for a, b in zip(powers, powers[1:]))
+
+    def test_monitor_does_not_keep_simulation_alive(self):
+        net = make_network()
+        PowerMonitor(net, period_ns=10.0 * US)
+        net.submit(0.0, 0, 7, 1000)
+        net.run()   # must terminate despite the periodic monitor
+        assert net.stats.messages_delivered == 1
+
+    def test_channel_subset(self):
+        net = make_network()
+        monitor = PowerMonitor(net, channels=net.inter_switch_channels,
+                               period_ns=10.0 * US)
+        net.run(until_ns=50.0 * US)
+        assert len(monitor.channels) == len(net.inter_switch_channels)
+
+    def test_validation(self):
+        net = make_network()
+        with pytest.raises(ValueError):
+            PowerMonitor(net, period_ns=0.0)
+        with pytest.raises(ValueError):
+            PowerMonitor(net, channels=[])
+
+
+class TestCongestionMonitor:
+    def test_quiet_network_has_no_congestion(self):
+        net = make_network()
+        monitor = CongestionMonitor(net, period_ns=10.0 * US)
+        net.run(until_ns=0.1 * MS)
+        assert monitor.peak_queued_bytes() == 0
+        assert monitor.peak_blocked_packets() == 0
+
+    def test_burst_shows_up_in_samples(self):
+        net = make_network()
+        monitor = CongestionMonitor(net, period_ns=1.0 * US)
+        for i in range(20):
+            net.submit(i * 10.0, 0, 7, 60_000)
+        net.run(until_ns=0.2 * MS)
+        assert monitor.peak_queued_bytes() > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CongestionMonitor(make_network(), period_ns=-1.0)

@@ -1,0 +1,46 @@
+"""NetworkConfig validation."""
+
+import pytest
+
+from repro.power.link_rates import RateLadder
+from repro.sim.network import NetworkConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        NetworkConfig()
+
+    def test_mtu_positive(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(mtu_bytes=0)
+
+    def test_latencies_non_negative(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(router_latency_ns=-1.0)
+        with pytest.raises(ValueError):
+            NetworkConfig(propagation_ns=-1.0)
+        NetworkConfig(router_latency_ns=0.0, propagation_ns=0.0)
+
+    def test_queue_must_hold_an_mtu(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(mtu_bytes=4096, queue_capacity_bytes=2048)
+
+    def test_credits_must_hold_an_mtu(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(mtu_bytes=4096, credit_bytes=2048)
+
+    def test_escape_timeout_positive_or_none(self):
+        NetworkConfig(escape_timeout_ns=None)
+        with pytest.raises(ValueError):
+            NetworkConfig(escape_timeout_ns=0.0)
+
+    def test_initial_rate_must_be_on_ladder(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(initial_rate_gbps=13.0)
+        NetworkConfig(initial_rate_gbps=2.5)
+
+    def test_custom_ladder_with_matching_rate(self):
+        ladder = RateLadder((1.0, 8.0))
+        NetworkConfig(ladder=ladder, initial_rate_gbps=8.0)
+        with pytest.raises(ValueError):
+            NetworkConfig(ladder=ladder, initial_rate_gbps=2.5)

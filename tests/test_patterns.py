@@ -1,0 +1,161 @@
+"""Classic traffic patterns: permutations and hotspots."""
+
+import pytest
+
+from repro.sim.network import FbflyNetwork, NetworkConfig
+from repro.topology.flattened_butterfly import FlattenedButterfly
+from repro.workloads.patterns import (
+    HotspotWorkload,
+    PermutationWorkload,
+    bit_complement,
+    tornado,
+    transpose,
+)
+
+
+class TestBitComplement:
+    def test_power_of_two_complements_bits(self):
+        assert bit_complement(0, 16) == 15
+        assert bit_complement(5, 16) == 10
+        assert bit_complement(15, 16) == 0
+
+    def test_is_an_involution(self):
+        for n in (8, 16, 64):
+            for host in range(n):
+                dst = bit_complement(host, n)
+                assert bit_complement(dst, n) == host
+
+    def test_non_power_of_two_mirrors(self):
+        assert bit_complement(0, 10) == 9
+        assert bit_complement(3, 10) == 6
+
+    def test_no_self_traffic(self):
+        for n in (8, 10, 16, 27):
+            for host in range(n):
+                assert bit_complement(host, n) != host
+
+
+class TestTranspose:
+    def test_square_grid(self):
+        # 4x4 grid: host (1,2)=6 -> (2,1)=9.
+        assert transpose(6, 16) == 9
+        assert transpose(9, 16) == 6
+
+    def test_diagonal_silent(self):
+        assert transpose(0, 16) is None
+        assert transpose(5, 16) is None   # (1,1)
+
+    def test_hosts_beyond_square_silent(self):
+        assert transpose(17, 18) is None
+
+    def test_is_an_involution_off_diagonal(self):
+        for host in range(16):
+            dst = transpose(host, 16)
+            if dst is not None:
+                assert transpose(dst, 16) == host
+
+
+class TestTornado:
+    def test_halfway_around(self):
+        assert tornado(0, 8) == 4
+        assert tornado(6, 8) == 2
+
+    def test_odd_population(self):
+        assert tornado(0, 9) == 4
+
+    def test_no_self_traffic(self):
+        for n in range(2, 30):
+            for host in range(n):
+                dst = tornado(host, n)
+                assert dst is None or dst != host
+
+
+class TestPermutationWorkload:
+    def test_event_stream_valid(self):
+        wl = PermutationWorkload(16, bit_complement, offered_load=0.2,
+                                 seed=3)
+        events = list(wl.events(500_000.0))
+        assert events
+        times = [e.time_ns for e in events]
+        assert times == sorted(times)
+        for e in events:
+            assert e.dst == bit_complement(e.src, 16)
+
+    def test_silent_hosts_send_nothing(self):
+        wl = PermutationWorkload(16, transpose, offered_load=0.3, seed=3)
+        sources = {e.src for e in wl.events(1_000_000.0)}
+        assert 0 not in sources   # diagonal host
+
+    def test_all_silent_permutation_rejected(self):
+        with pytest.raises(ValueError):
+            PermutationWorkload(4, lambda h, n: None)
+
+    def test_invalid_destination_rejected(self):
+        with pytest.raises(ValueError):
+            PermutationWorkload(4, lambda h, n: n + 5)
+
+    def test_end_to_end_delivery_on_fbfly(self):
+        topo = FlattenedButterfly(k=4, n=2)
+        net = FbflyNetwork(topo, NetworkConfig(seed=9))
+        wl = PermutationWorkload(topo.num_hosts, bit_complement,
+                                 offered_load=0.1, message_bytes=8192,
+                                 seed=9)
+        net.attach_workload(wl.events(200_000.0))
+        stats = net.run()
+        assert stats.delivered_fraction() == pytest.approx(1.0)
+
+    def test_tornado_loads_are_adversarial_for_rings(self):
+        # Sanity: every tornado pair is at maximal ring distance.
+        n = 16
+        for host in range(n):
+            dst = tornado(host, n)
+            ring_distance = min((dst - host) % n, (host - dst) % n)
+            assert ring_distance == n // 2
+
+
+class TestHotspotWorkload:
+    def test_traffic_concentrates_on_hotspots(self):
+        wl = HotspotWorkload(16, hotspot_fraction=0.7, num_hotspots=1,
+                             offered_load=0.3, seed=4)
+        events = list(wl.events(2_000_000.0))
+        hot = wl.hotspots[0]
+        to_hot = sum(1 for e in events if e.dst == hot)
+        assert to_hot > 0.5 * len(events)
+
+    def test_zero_fraction_is_uniform(self):
+        wl = HotspotWorkload(16, hotspot_fraction=0.0, num_hotspots=1,
+                             offered_load=0.3, seed=4)
+        events = list(wl.events(2_000_000.0))
+        hot = wl.hotspots[0]
+        to_hot = sum(1 for e in events if e.dst == hot)
+        # ~1/15 of traffic under uniformity.
+        assert to_hot < 0.2 * len(events)
+
+    def test_stream_valid(self):
+        wl = HotspotWorkload(12, seed=2)
+        events = list(wl.events(500_000.0))
+        assert all(e.src != e.dst for e in events)
+        times = [e.time_ns for e in events]
+        assert times == sorted(times)
+
+    def test_hotspot_creates_channel_asymmetry(self):
+        # The hot host's downlink must see far more traffic than its
+        # uplink — the pattern that motivates independent channels.
+        topo = FlattenedButterfly(k=4, n=2)
+        net = FbflyNetwork(topo, NetworkConfig(seed=4))
+        wl = HotspotWorkload(topo.num_hosts, hotspot_fraction=0.8,
+                             num_hotspots=1, offered_load=0.1, seed=4)
+        hot = wl.hotspots[0]
+        net.attach_workload(wl.events(500_000.0))
+        net.run()
+        down = net.host_down[hot].stats.bytes_sent
+        up = net.host_up[hot].stats.bytes_sent
+        assert down > 3 * up
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HotspotWorkload(2)
+        with pytest.raises(ValueError):
+            HotspotWorkload(8, hotspot_fraction=1.5)
+        with pytest.raises(ValueError):
+            HotspotWorkload(8, num_hotspots=8)

@@ -1,0 +1,100 @@
+"""Calibration against queueing theory.
+
+A single channel fed Poisson packet arrivals with fixed packet size is
+exactly an M/D/1 queue: deterministic service time S = size/rate, mean
+queueing delay Wq = rho * S / (2 * (1 - rho)).  If the simulator's
+flow-control plumbing distorts these numbers, every latency result in
+the reproduction is suspect — so we check the closed form directly.
+"""
+
+import random
+
+import pytest
+
+from repro.sim.channel import Channel
+from repro.sim.engine import Simulator
+from repro.sim.packet import Message
+from repro.units import serialization_ns
+
+
+class RecordingSink:
+    """Returns credits instantly and records arrival times."""
+
+    def __init__(self):
+        self.arrivals = []
+
+    def receive(self, packet, channel):
+        self.arrivals.append((packet, channel.sim.now))
+        channel.release_credits(packet.size_bytes)
+
+    def on_output_space(self, channel):
+        pass
+
+
+def run_md1(rho: float, packet_bytes: int = 1000, rate_gbps: float = 40.0,
+            packets: int = 30_000, seed: int = 5):
+    """Drive one channel at offered load ``rho``; return (Wq, busy frac)."""
+    sim = Simulator()
+    sink = RecordingSink()
+    channel = Channel(
+        sim, "md1", sink,
+        rate_gbps=rate_gbps,
+        propagation_ns=0.0,
+        queue_capacity_bytes=10 ** 9,   # effectively infinite queue
+        credit_bytes=10 ** 9,
+    )
+    service_ns = serialization_ns(packet_bytes, rate_gbps)
+    mean_gap = service_ns / rho
+    rng = random.Random(seed)
+
+    submit_times = {}
+    t = 0.0
+    for i in range(packets):
+        t += rng.expovariate(1.0 / mean_gap)
+        message = Message(0, 1, packet_bytes, t)
+        packet = message.packetize(packet_bytes)[0]
+        submit_times[id(packet)] = t
+        sim.schedule_at(t, channel.enqueue, packet)
+    sim.run()
+    channel.stats.finalize(sim.now)
+
+    waits = []
+    for packet, arrival in sink.arrivals:
+        sojourn = arrival - submit_times[id(packet)]
+        waits.append(sojourn - service_ns)   # queueing delay only
+    mean_wait = sum(waits) / len(waits)
+    busy_fraction = channel.stats.busy_ns / sim.now
+    return mean_wait, busy_fraction, service_ns
+
+
+class TestMD1:
+    @pytest.mark.parametrize("rho", [0.3, 0.5, 0.8])
+    def test_mean_queueing_delay_matches_theory(self, rho):
+        mean_wait, _, service_ns = run_md1(rho)
+        theory = rho * service_ns / (2.0 * (1.0 - rho))
+        assert mean_wait == pytest.approx(theory, rel=0.08)
+
+    @pytest.mark.parametrize("rho", [0.3, 0.5, 0.8])
+    def test_utilization_matches_offered_load(self, rho):
+        _, busy_fraction, _ = run_md1(rho)
+        assert busy_fraction == pytest.approx(rho, rel=0.05)
+
+    def test_waits_never_negative(self):
+        # A packet can never be delivered faster than its service time.
+        sim_wait, _, _ = run_md1(0.5, packets=5_000)
+        assert sim_wait >= 0.0
+
+    def test_delay_grows_super_linearly_toward_saturation(self):
+        low, _, _ = run_md1(0.3, packets=10_000)
+        high, _, _ = run_md1(0.8, packets=10_000)
+        # Theory ratio: (0.8/0.4) / (0.3/1.4) = 9.33; demand much more
+        # than the 2.67x load increase.
+        assert high > 5.0 * low
+
+    def test_slower_rate_scales_service_time(self):
+        fast_wait, _, fast_service = run_md1(0.5, rate_gbps=40.0,
+                                             packets=10_000)
+        slow_wait, _, slow_service = run_md1(0.5, rate_gbps=10.0,
+                                             packets=10_000)
+        assert slow_service == pytest.approx(4.0 * fast_service)
+        assert slow_wait == pytest.approx(4.0 * fast_wait, rel=0.15)

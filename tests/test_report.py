@@ -1,0 +1,45 @@
+"""Report formatting helpers."""
+
+import pytest
+
+from repro.experiments.report import dollars, format_table, pct, us, watts
+
+
+class TestFormatters:
+    def test_pct(self):
+        assert pct(0.423) == "42.3%"
+        assert pct(0.05, digits=0) == "5%"
+
+    def test_us(self):
+        assert us(1500.0) == "1.5us"
+        assert us(100.0, digits=2) == "0.10us"
+
+    def test_dollars(self):
+        assert dollars(1_607_467) == "$1,607,467"
+
+    def test_watts(self):
+        assert watts(737280) == "737,280 W"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["name", "value"],
+                             [["a", "1"], ["long-name", "22"]])
+        lines = table.split("\n")
+        assert len(lines) == 4
+        # All rows padded to equal width per column.
+        assert lines[2].startswith("a        ")
+
+    def test_title_underlined(self):
+        table = format_table(["h"], [["x"]], title="My Table")
+        lines = table.split("\n")
+        assert lines[0] == "My Table"
+        assert lines[1] == "=" * len("My Table")
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_non_string_cells_coerced(self):
+        table = format_table(["n"], [[42]])
+        assert "42" in table

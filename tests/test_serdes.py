@@ -1,0 +1,45 @@
+"""SerDes and switch-chip power models (Section 2.2 assumptions)."""
+
+import pytest
+
+from repro.power.serdes import PAPER_SWITCH, SerDesPowerModel, SwitchChipPowerModel
+
+
+class TestSerDesPowerModel:
+    def test_default_lane_power(self):
+        assert SerDesPowerModel().watts_per_lane == pytest.approx(0.7)
+
+    def test_lane_power_scales_linearly(self):
+        model = SerDesPowerModel(watts_per_lane=0.5)
+        assert model.lane_power(10) == pytest.approx(5.0)
+
+    def test_zero_lanes(self):
+        assert SerDesPowerModel().lane_power(0) == 0.0
+
+    def test_negative_lanes_rejected(self):
+        with pytest.raises(ValueError):
+            SerDesPowerModel().lane_power(-1)
+
+
+class TestPaperSwitch:
+    """'each of 144 SerDes (one per lane per port) consume ~0.7 Watts'."""
+
+    def test_port_geometry(self):
+        assert PAPER_SWITCH.ports == 36
+        assert PAPER_SWITCH.lanes_per_port == 4
+        assert PAPER_SWITCH.total_lanes == 144
+
+    def test_derived_power_near_100w(self):
+        assert PAPER_SWITCH.derived_watts == pytest.approx(100.8)
+
+    def test_nominal_chip_power_is_100w(self):
+        assert PAPER_SWITCH.chip_watts == 100.0
+
+    def test_nominal_and_derived_agree_within_rounding(self):
+        assert abs(PAPER_SWITCH.chip_watts
+                   - PAPER_SWITCH.derived_watts) < 1.0
+
+    def test_custom_chip_without_nominal_override(self):
+        chip = SwitchChipPowerModel(ports=64, lanes_per_port=3,
+                                    nominal_watts=None)
+        assert chip.chip_watts == round(64 * 3 * 0.7)

@@ -1,0 +1,52 @@
+"""Watt-scale projection of simulated power fractions."""
+
+import pytest
+
+from repro.power.cost import EnergyCostModel
+from repro.power.switch_budget import NetworkEnergyBudget, project_savings
+from repro.topology.flattened_butterfly import FlattenedButterfly
+
+
+@pytest.fixture
+def budget():
+    return NetworkEnergyBudget.for_topology(FlattenedButterfly(k=8, n=5))
+
+
+class TestBudget:
+    def test_full_scale_build(self, budget):
+        assert budget.switch_watts == 409_600
+        assert budget.nic_watts == 327_680
+        assert budget.full_watts == 737_280
+
+    def test_watts_scale_with_fraction(self, budget):
+        assert budget.watts_at(1.0) == pytest.approx(737_280)
+        assert budget.watts_at(0.5) == pytest.approx(737_280 / 2)
+        assert budget.watts_at(0.0) == 0.0
+
+    def test_fixed_nics_leave_a_floor(self):
+        budget = NetworkEnergyBudget.for_topology(
+            FlattenedButterfly(k=8, n=5), nics_scale=False)
+        assert budget.watts_at(0.0) == 327_680
+
+    def test_negative_fraction_rejected(self, budget):
+        with pytest.raises(ValueError):
+            budget.watts_at(-0.1)
+
+
+class TestProjectedSavings:
+    def test_six_x_reduction_is_2_4m(self, budget):
+        # The paper: "a 6x reduction in power ... $2.4M".
+        savings = project_savings(1.0 / 6.0, budget)
+        assert savings == pytest.approx(2.4e6, rel=0.02)
+
+    def test_6_6x_reduction_is_2_5m(self, budget):
+        savings = project_savings(1.0 / 6.6, budget)
+        assert savings == pytest.approx(2.5e6, rel=0.02)
+
+    def test_full_power_saves_nothing(self, budget):
+        assert project_savings(1.0, budget) == pytest.approx(0.0)
+
+    def test_custom_cost_model(self, budget):
+        pricey = EnergyCostModel(dollars_per_kwh=0.14)
+        assert project_savings(0.5, budget, pricey) == pytest.approx(
+            2 * project_savings(0.5, budget))

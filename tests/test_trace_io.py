@@ -1,0 +1,115 @@
+"""Trace persistence, replay and the paper's trace transforms."""
+
+import pytest
+
+from repro.workloads.base import TraceEvent
+from repro.workloads.trace import (
+    ReplayWorkload,
+    load_trace,
+    randomize_placement,
+    save_trace,
+    scale_time,
+)
+
+
+@pytest.fixture
+def events():
+    return [
+        TraceEvent(10.0, 0, 1, 1000),
+        TraceEvent(20.5, 2, 3, 2048),
+        TraceEvent(30.25, 1, 0, 64),
+    ]
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path, events):
+        path = tmp_path / "trace.csv"
+        count = save_trace(path, events)
+        assert count == 3
+        assert load_trace(path) == events
+
+    def test_float_times_preserved_exactly(self, tmp_path):
+        original = [TraceEvent(1.0000001, 0, 1, 10)]
+        path = tmp_path / "trace.csv"
+        save_trace(path, original)
+        assert load_trace(path)[0].time_ns == original[0].time_ns
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        assert save_trace(path, []) == 0
+        assert load_trace(path) == []
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+
+class TestReplayWorkload:
+    def test_replay_sorted(self, events):
+        shuffled = [events[2], events[0], events[1]]
+        replay = ReplayWorkload(shuffled, num_hosts=4)
+        assert list(replay.events(100.0)) == events
+
+    def test_replay_truncates_at_horizon(self, events):
+        replay = ReplayWorkload(events, num_hosts=4)
+        assert len(list(replay.events(25.0))) == 2
+
+    def test_out_of_range_host_rejected(self, events):
+        with pytest.raises(ValueError):
+            ReplayWorkload(events, num_hosts=2)
+
+    def test_num_hosts_exposed(self, events):
+        assert ReplayWorkload(events, num_hosts=7).num_hosts == 7
+
+
+class TestTransforms:
+    def test_randomize_placement_preserves_structure(self, events):
+        remapped = randomize_placement(events, num_hosts=8, seed=4)
+        assert len(remapped) == len(events)
+        assert sorted(e.time_ns for e in remapped) == \
+            [e.time_ns for e in events]
+        assert sorted(e.size_bytes for e in remapped) == \
+            sorted(e.size_bytes for e in events)
+
+    def test_randomize_placement_is_a_permutation(self, events):
+        remapped = randomize_placement(events, num_hosts=8, seed=4)
+        # src=1,dst=0 and src=0,dst=1 must stay mirrored after remapping.
+        pair_a = {(e.src, e.dst) for e in remapped if e.size_bytes == 1000}
+        pair_b = {(e.src, e.dst) for e in remapped if e.size_bytes == 64}
+        (a_src, a_dst), = pair_a
+        (b_src, b_dst), = pair_b
+        assert (a_src, a_dst) == (b_dst, b_src)
+
+    def test_randomize_deterministic_per_seed(self, events):
+        assert randomize_placement(events, 8, seed=1) == \
+            randomize_placement(events, 8, seed=1)
+
+    def test_scale_time_compresses(self, events):
+        scaled = scale_time(events, factor=2.0)
+        assert [e.time_ns for e in scaled] == [5.0, 10.25, 15.125]
+
+    def test_scale_time_preserves_sizes_and_endpoints(self, events):
+        scaled = scale_time(events, factor=4.0)
+        assert [(e.src, e.dst, e.size_bytes) for e in scaled] == \
+            [(e.src, e.dst, e.size_bytes) for e in events]
+
+    def test_scale_factor_must_be_positive(self, events):
+        with pytest.raises(ValueError):
+            scale_time(events, factor=0.0)
+
+
+class TestTraceEvent:
+    def test_ordering_by_time(self):
+        a = TraceEvent(1.0, 5, 6, 100)
+        b = TraceEvent(2.0, 0, 1, 100)
+        assert a < b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceEvent(-1.0, 0, 1, 100)
+        with pytest.raises(ValueError):
+            TraceEvent(0.0, 0, 1, 0)
+        with pytest.raises(ValueError):
+            TraceEvent(0.0, 2, 2, 100)

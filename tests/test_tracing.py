@@ -1,0 +1,97 @@
+"""Per-packet path tracing."""
+
+import pytest
+
+from repro.sim.network import FbflyNetwork, NetworkConfig
+from repro.sim.tracing import DELIVERY, INJECTION, SWITCH_ARRIVAL, PacketTracer
+from repro.topology.flattened_butterfly import FlattenedButterfly
+
+
+@pytest.fixture
+def traced_network():
+    net = FbflyNetwork(FlattenedButterfly(k=3, n=3), NetworkConfig(seed=81))
+    tracer = PacketTracer()
+    net.attach_tracer(tracer)
+    return net, tracer
+
+
+class TestTraceCollection:
+    def test_single_packet_full_path(self, traced_network):
+        net, tracer = traced_network
+        dst = net.topology.num_hosts - 1
+        net.submit(0.0, 0, dst, 1000)
+        net.run()
+        records = tracer.of_message(0 if not tracer.records else
+                                    tracer.records[0].message_id)
+        kinds = [r.kind for r in records]
+        assert kinds[0] == INJECTION
+        assert kinds[-1] == DELIVERY
+        assert SWITCH_ARRIVAL in kinds
+
+    def test_path_starts_and_ends_at_hosts(self, traced_network):
+        net, tracer = traced_network
+        net.submit(0.0, 0, 26, 1000)
+        net.run()
+        msg_id = tracer.records[0].message_id
+        path = tracer.path_of(msg_id)
+        assert path[0] == 0      # source host
+        assert path[-1] == 26    # destination host
+
+    def test_hop_count_matches_minimal_route(self, traced_network):
+        net, tracer = traced_network
+        topo = net.topology
+        dst = topo.num_hosts - 1   # differs in both dimensions
+        net.submit(0.0, 0, dst, 1000)
+        net.run()
+        msg_id = tracer.records[0].message_id
+        # Ingress switch + one correction hop + egress = differing dims + 1.
+        expected = topo.minimal_hops(0, topo.host_switch(dst)) + 1
+        assert tracer.hop_count(msg_id) == expected
+
+    def test_times_monotone_along_path(self, traced_network):
+        net, tracer = traced_network
+        net.submit(0.0, 0, 13, 6000)
+        net.run()
+        msg_id = tracer.records[0].message_id
+        for index in range(3):   # three packets at 2 kB MTU
+            times = [r.time_ns for r in tracer.of_packet(msg_id, index)]
+            assert times == sorted(times)
+
+    def test_format_path_renders(self, traced_network):
+        net, tracer = traced_network
+        net.submit(0.0, 0, 7, 1000)
+        net.run()
+        msg_id = tracer.records[0].message_id
+        text = tracer.format_path(msg_id)
+        assert "injection" in text
+        assert "delivery" in text
+
+
+class TestTracerMechanics:
+    def test_untraced_network_records_nothing(self):
+        net = FbflyNetwork(FlattenedButterfly(k=2, n=2))
+        net.submit(0.0, 0, 3, 1000)
+        net.run()
+        assert net.tracer is None   # and nothing crashed
+
+    def test_ring_buffer_bounds_memory(self, traced_network):
+        net, _ = traced_network
+        small = PacketTracer(max_records=10)
+        net.attach_tracer(small)
+        for i in range(20):
+            net.submit(i * 100.0, 0, 7, 1000)
+        net.run()
+        assert len(small) == 10
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            PacketTracer(max_records=0)
+
+    def test_per_packet_filtering(self, traced_network):
+        net, tracer = traced_network
+        net.submit(0.0, 0, 7, 5000)   # 3 packets
+        net.run()
+        msg_id = tracer.records[0].message_id
+        all_records = tracer.of_message(msg_id)
+        per_packet = [tracer.of_packet(msg_id, i) for i in range(3)]
+        assert sum(len(p) for p in per_packet) == len(all_records)

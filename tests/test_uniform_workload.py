@@ -1,0 +1,95 @@
+"""The uniform random workload (Section 4.1)."""
+
+import pytest
+
+from repro.workloads.uniform import UniformRandomWorkload
+
+
+class TestEventStream:
+    def test_events_sorted_by_time(self):
+        wl = UniformRandomWorkload(16, offered_load=0.2, seed=3)
+        events = list(wl.events(500_000.0))
+        times = [e.time_ns for e in events]
+        assert times == sorted(times)
+
+    def test_all_messages_are_512k_by_default(self):
+        wl = UniformRandomWorkload(16, seed=3)
+        for event in wl.events(200_000.0):
+            assert event.size_bytes == 512 * 1024
+
+    def test_no_self_messages(self):
+        wl = UniformRandomWorkload(8, offered_load=0.5, seed=5)
+        for event in wl.events(1_000_000.0):
+            assert event.src != event.dst
+
+    def test_events_within_horizon(self):
+        wl = UniformRandomWorkload(8, offered_load=0.5, seed=5)
+        assert all(0 <= e.time_ns < 300_000.0
+                   for e in wl.events(300_000.0))
+
+    def test_every_host_participates(self):
+        wl = UniformRandomWorkload(8, offered_load=0.8, seed=1)
+        sources = {e.src for e in wl.events(2_000_000.0)}
+        assert sources == set(range(8))
+
+    def test_destinations_roughly_uniform(self):
+        wl = UniformRandomWorkload(10, offered_load=0.8, seed=2)
+        counts = {h: 0 for h in range(10)}
+        total = 0
+        for event in wl.events(5_000_000.0):
+            counts[event.dst] += 1
+            total += 1
+        expected = total / 10
+        for count in counts.values():
+            assert abs(count - expected) < 0.5 * expected
+
+
+class TestCalibration:
+    def test_mean_interarrival_matches_load(self):
+        wl = UniformRandomWorkload(16, offered_load=0.25,
+                                   message_bytes=512 * 1024,
+                                   line_rate_gbps=40.0)
+        # 512 KiB at 25% of 5 B/ns.
+        assert wl.mean_interarrival_ns == pytest.approx(
+            512 * 1024 / (0.25 * 5.0))
+
+    def test_injected_bytes_near_target(self):
+        duration = 20_000_000.0
+        load = 0.3
+        wl = UniformRandomWorkload(16, offered_load=load, seed=7)
+        injected = sum(e.size_bytes for e in wl.events(duration))
+        target = 16 * load * 5.0 * duration
+        assert injected == pytest.approx(target, rel=0.1)
+
+    def test_higher_load_means_more_events(self):
+        low = sum(1 for _ in UniformRandomWorkload(
+            8, offered_load=0.1, seed=1).events(5_000_000.0))
+        high = sum(1 for _ in UniformRandomWorkload(
+            8, offered_load=0.4, seed=1).events(5_000_000.0))
+        assert high > 2 * low
+
+
+class TestValidation:
+    def test_needs_two_hosts(self):
+        with pytest.raises(ValueError):
+            UniformRandomWorkload(1)
+
+    def test_load_bounds(self):
+        with pytest.raises(ValueError):
+            UniformRandomWorkload(8, offered_load=0.0)
+        with pytest.raises(ValueError):
+            UniformRandomWorkload(8, offered_load=1.5)
+
+    def test_message_size_positive(self):
+        with pytest.raises(ValueError):
+            UniformRandomWorkload(8, message_bytes=0)
+
+    def test_deterministic_for_seed(self):
+        a = list(UniformRandomWorkload(8, seed=11).events(1_000_000.0))
+        b = list(UniformRandomWorkload(8, seed=11).events(1_000_000.0))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = list(UniformRandomWorkload(8, seed=1).events(1_000_000.0))
+        b = list(UniformRandomWorkload(8, seed=2).events(1_000_000.0))
+        assert a != b
