@@ -1,0 +1,23 @@
+# Developer entry points.  PYTHONPATH=src everywhere: the repo runs
+# from a source checkout without installation.
+
+PY := PYTHONPATH=src python
+JOBS ?= 4
+
+.PHONY: test bench smoke-sweep golden-refresh clean-cache
+
+test:            ## tier-1 test suite
+	$(PY) -m pytest -x -q
+
+bench:           ## full benchmark suite (regenerates every figure)
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+smoke-sweep:     ## quick parallel sweep: figure 7 with 2 workers
+	$(PY) -m repro figure7 --jobs 2
+
+golden-refresh:  ## deliberately regenerate tests/golden/*.json
+	$(PY) -m repro golden-refresh --no-cache
+	@git --no-pager diff --stat tests/golden || true
+
+clean-cache:     ## drop the persistent sweep cache
+	rm -rf $${REPRO_CACHE_DIR:-$$HOME/.cache/repro/sweeps}

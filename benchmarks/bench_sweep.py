@@ -1,0 +1,50 @@
+"""Sweep harness overhead: cold execution vs warm persistent cache.
+
+The figure benchmarks (`bench_figure7/8/9.py`) now route through the
+sweep harness implicitly; this file benchmarks the harness itself on a
+batch of small runs, demonstrating the executed-vs-cache-hit accounting
+and the warm-cache fast path that makes figure re-runs near-instant.
+"""
+
+from dataclasses import replace
+
+from conftest import run_once
+
+from repro.experiments.cache import SweepCache, summary_digest
+from repro.experiments.runner import SimulationSpec
+from repro.experiments.sweep import SweepRunner
+
+BASE = SimulationSpec(k=2, n=2, duration_ns=200_000.0)
+SPECS = [replace(BASE, seed=seed) for seed in range(1, 5)]
+
+
+def test_sweep_cold(benchmark, tmp_path):
+    runner = SweepRunner(jobs=1, cache=SweepCache(tmp_path / "cache"))
+    results = run_once(benchmark, runner.run, SPECS)
+    print("\n[sweep cold] " + runner.last_stats.format_line())
+
+    assert runner.last_stats.executed == len(SPECS)
+    assert runner.last_stats.cache_hits == 0
+    assert set(results) == set(SPECS)
+
+
+def test_sweep_warm_cache(benchmark, tmp_path):
+    cache_dir = tmp_path / "cache"
+    SweepRunner(jobs=1, cache=SweepCache(cache_dir)).run(SPECS)
+
+    # A fresh runner (cold memo) against the warm disk cache.
+    warm = SweepRunner(jobs=1, cache=SweepCache(cache_dir))
+    results = run_once(benchmark, warm.run, SPECS)
+    print("\n[sweep warm] " + warm.last_stats.format_line())
+
+    assert warm.last_stats.executed == 0
+    assert warm.last_stats.cache_hits == len(SPECS)
+    assert set(results) == set(SPECS)
+
+
+def test_sweep_warm_matches_cold(tmp_path):
+    cache_dir = tmp_path / "cache"
+    cold = SweepRunner(jobs=1, cache=SweepCache(cache_dir)).run(SPECS)
+    warm = SweepRunner(jobs=1, cache=SweepCache(cache_dir)).run(SPECS)
+    for spec in SPECS:
+        assert summary_digest(warm[spec]) == summary_digest(cold[spec])

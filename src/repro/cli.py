@@ -6,9 +6,18 @@ Usage::
     python -m repro table1
     python -m repro figure8 --scale medium
     python -m repro all --output results/
+    python -m repro figure9 --jobs 4          # parallel sweep workers
+    python -m repro figure7 --no-cache        # force live simulation
+    python -m repro golden-refresh            # rewrite tests/golden/*.json
 
 Simulation-backed experiments honour ``--scale`` (equivalent to the
-``REPRO_SCALE`` environment variable); analytic ones ignore it.
+``REPRO_SCALE`` environment variable); analytic ones ignore it.  Their
+runs go through the sweep harness (:mod:`repro.experiments.sweep`):
+``--jobs`` sets the worker-process count, and results persist in a disk
+cache (``--cache-dir``, default ``~/.cache/repro/sweeps``) keyed by
+spec content hash, so re-running a figure is near-instant; ``--no-cache``
+bypasses it.  A per-experiment ``[sweep: ...]`` line reports runs
+executed vs. cache hits and wall-clock.
 """
 
 from __future__ import annotations
@@ -21,6 +30,8 @@ from pathlib import Path
 from typing import Callable, Dict, Optional
 
 from repro.experiments import (
+    golden,
+    sweep,
     asymmetry,
     dynamic_topology,
     energy_aware,
@@ -87,8 +98,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list"],
-        help="experiment to run, 'all', or 'list' to enumerate them",
+        choices=sorted(EXPERIMENTS) + ["all", "list", "golden-refresh"],
+        help="experiment to run, 'all', 'list' to enumerate them, or "
+             "'golden-refresh' to rewrite tests/golden/*.json",
     )
     parser.add_argument(
         "--scale", choices=sorted(SCALES), default=None,
@@ -96,12 +108,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--output", type=Path, default=None,
-        help="directory to also write each result table into",
+        help="directory to also write each result table into "
+             "(for golden-refresh: the golden directory, default "
+             "tests/golden)",
     )
     parser.add_argument(
         "--json", action="store_true",
         help="with --output: also write each result's rows as "
              "<name>.json for downstream tooling",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="sweep worker processes (default: $REPRO_JOBS or cpu count)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent run cache (always simulate live)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None, metavar="DIR",
+        help="persistent run-cache directory "
+             "(default: $REPRO_CACHE_DIR or ~/.cache/repro/sweeps)",
     )
     return parser
 
@@ -112,10 +139,14 @@ def run_experiment(name: str, scale: ExperimentScale,
     """Run one experiment and return its formatted table."""
     description, needs_scale, run = EXPERIMENTS[name]
     started = time.perf_counter()
+    before = sweep.active_runner().stats.snapshot()
     result = run(scale=scale) if needs_scale else run()
+    sweep_delta = sweep.active_runner().stats.delta(before)
     text = result.format_table()
     elapsed = time.perf_counter() - started
     header = f"[{name}] {description} ({elapsed:.1f}s)"
+    if sweep_delta.submitted:
+        header += f"\n[sweep: {sweep_delta.format_line()}]"
     block = f"{header}\n{text}\n"
     if output_dir is not None:
         output_dir.mkdir(parents=True, exist_ok=True)
@@ -137,6 +168,15 @@ def run_experiment(name: str, scale: ExperimentScale,
 def main(argv=None) -> int:
     """CLI entry point: run the experiment and print its table."""
     args = build_parser().parse_args(argv)
+
+    sweep.configure(jobs=args.jobs, use_cache=not args.no_cache,
+                    cache_dir=args.cache_dir)
+
+    if args.experiment == "golden-refresh":
+        target = args.output or golden.default_golden_dir()
+        for path in golden.refresh(target):
+            print(f"wrote {path}")
+        return 0
 
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):

@@ -33,6 +33,13 @@ Simulation-backed experiments accept an :class:`ExperimentScale`
 | mixed_media | §2.2 packaging-aware copper/optical pricing |
 | oversubscription | §2.1.1 concentration sweep |
 | savings | simulated power priced at the 32k-host scale |
+
+Infrastructure modules: ``runner`` (the shared :class:`SimulationSpec`
+-> summary executor), ``sweep`` (parallel batch execution with worker
+processes and dedup), ``cache`` (the persistent content-hash run cache
+plus the bounded in-process memo), ``golden`` (frozen reference values
+guarding against silent result drift), ``scale`` / ``report`` /
+``charts`` (sizing and rendering helpers).
 """
 
 from repro.experiments.scale import ExperimentScale, current_scale, SCALES

@@ -14,12 +14,9 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional
 
 from repro.experiments.report import format_table, pct
-from repro.experiments.runner import (
-    SimulationSpec,
-    SimulationSummary,
-    cached_run,
-)
+from repro.experiments.runner import SimulationSpec, SimulationSummary
 from repro.experiments.scale import ExperimentScale, current_scale
+from repro.experiments.sweep import sweep
 
 
 @dataclass
@@ -89,9 +86,10 @@ def run(scale: Optional[ExperimentScale] = None,
         k=scale.k, n=scale.n, workload=workload,
         duration_ns=scale.duration_ns,
     )
-    paired = cached_run(base)
-    independent = cached_run(replace(base, independent_channels=True))
-    return Figure7Result(paired=paired, independent=independent)
+    specs = [base, replace(base, independent_channels=True)]
+    results = sweep(specs)
+    return Figure7Result(paired=results[specs[0]],
+                         independent=results[specs[1]])
 
 
 def main() -> None:

@@ -25,9 +25,9 @@ from repro.experiments.runner import (
     SimulationSpec,
     SimulationSummary,
     baseline_spec,
-    cached_run,
 )
 from repro.experiments.scale import ExperimentScale, current_scale
+from repro.experiments.sweep import sweep
 from repro.power.channel_models import IdealChannelPower, MeasuredChannelPower
 
 WORKLOADS = ("uniform", "advert", "search")
@@ -116,20 +116,28 @@ class Figure8Result:
 def run(scale: Optional[ExperimentScale] = None) -> Figure8Result:
     """Run the experiment and return its result object."""
     scale = scale or current_scale()
-    rows: Dict[str, WorkloadPowerRow] = {}
+    # One spec batch for the whole figure: 3 workloads x (baseline,
+    # paired, independent), deduplicated and parallelized by the sweep
+    # harness instead of executed serially.
+    variants: Dict[str, tuple] = {}
+    batch = []
     for workload in WORKLOADS:
         spec = SimulationSpec(
             k=scale.k, n=scale.n, workload=workload,
             duration_ns=scale.duration_ns,
         )
-        baseline = cached_run(baseline_spec(spec))
-        paired = cached_run(spec)
-        independent = cached_run(replace(spec, independent_channels=True))
+        trio = (baseline_spec(spec), spec,
+                replace(spec, independent_channels=True))
+        variants[workload] = trio
+        batch.extend(trio)
+    results = sweep(batch)
+    rows: Dict[str, WorkloadPowerRow] = {}
+    for workload, (base, paired, independent) in variants.items():
         rows[workload] = WorkloadPowerRow(
             workload=workload,
-            baseline_utilization=baseline.average_utilization,
-            paired=paired,
-            independent=independent,
+            baseline_utilization=results[base].average_utilization,
+            paired=results[paired],
+            independent=results[independent],
         )
     return Figure8Result(
         rows_by_workload=rows,

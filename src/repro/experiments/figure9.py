@@ -23,9 +23,9 @@ from repro.experiments.runner import (
     SimulationSpec,
     SimulationSummary,
     baseline_spec,
-    cached_run,
 )
 from repro.experiments.scale import ExperimentScale, current_scale
+from repro.experiments.sweep import sweep
 from repro.units import US
 
 WORKLOADS = ("uniform", "advert", "search")
@@ -139,25 +139,38 @@ def run(scale: Optional[ExperimentScale] = None,
         ) -> Figure9Result:
     """Run the experiment and return its result object."""
     scale = scale or current_scale()
-    by_target: Dict[Tuple[str, float], LatencyPoint] = {}
-    by_react: Dict[Tuple[str, float], LatencyPoint] = {}
+    # Assemble the entire figure's spec batch up front — every
+    # (workload, target) and (workload, reactivation) point plus the
+    # baselines — and submit it as one deduplicated parallel sweep.
+    batch = []
+    target_specs: Dict[Tuple[str, float], Tuple] = {}
+    react_specs: Dict[Tuple[str, float], Tuple] = {}
     for workload in workloads:
         base = SimulationSpec(
             k=scale.k, n=scale.n, workload=workload,
             duration_ns=scale.duration_ns,
         )
-        baseline = cached_run(baseline_spec(base))
+        base_ref = baseline_spec(base)
+        batch.append(base_ref)
         for target in targets:
-            controlled = cached_run(replace(base, target_utilization=target))
-            by_target[(workload, target)] = LatencyPoint(
-                workload, target, controlled, baseline)
+            controlled = replace(base, target_utilization=target)
+            target_specs[(workload, target)] = (controlled, base_ref)
+            batch.append(controlled)
         for react in reactivations_ns:
             duration = _duration_for(react, scale)
             spec = replace(base, reactivation_ns=react, duration_ns=duration)
-            controlled = cached_run(spec)
-            base_long = cached_run(baseline_spec(spec))
-            by_react[(workload, react)] = LatencyPoint(
-                workload, react, controlled, base_long)
+            long_ref = baseline_spec(spec)
+            react_specs[(workload, react)] = (spec, long_ref)
+            batch.extend([spec, long_ref])
+    results = sweep(batch)
+    by_target: Dict[Tuple[str, float], LatencyPoint] = {}
+    by_react: Dict[Tuple[str, float], LatencyPoint] = {}
+    for (workload, target), (controlled, base_ref) in target_specs.items():
+        by_target[(workload, target)] = LatencyPoint(
+            workload, target, results[controlled], results[base_ref])
+    for (workload, react), (spec, long_ref) in react_specs.items():
+        by_react[(workload, react)] = LatencyPoint(
+            workload, react, results[spec], results[long_ref])
     return Figure9Result(
         by_target=by_target,
         by_reactivation=by_react,

@@ -19,11 +19,11 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments.report import format_table, pct, us
+from repro.experiments.runner import CONTROL_NONE, SimulationSpec
 from repro.experiments.scale import ExperimentScale, current_scale
+from repro.experiments.sweep import sweep
 from repro.power.cluster import ClusterPowerModel
-from repro.sim.network import FbflyNetwork, NetworkConfig
 from repro.topology.flattened_butterfly import FlattenedButterfly
-from repro.workloads.uniform import UniformRandomWorkload
 
 OFFERED_LOADS = (0.1, 0.4)
 
@@ -72,29 +72,37 @@ def run(scale: Optional[ExperimentScale] = None, seed: int = 1,
     scale = scale or current_scale()
     power_model = ClusterPowerModel()
     concentrations = (scale.k, scale.k * 3 // 2, scale.k * 2)
-    points: List[OversubscriptionPoint] = []
+    # Submit the whole (concentration x load) grid as one sweep batch;
+    # the analytic W/host figure comes from the power model, not a run.
+    grid: List[tuple] = []
+    batch: List[SimulationSpec] = []
     for c in concentrations:
         topology = FlattenedButterfly(k=scale.k, n=scale.n, c=c)
         watts_per_host = (power_model.network_power(topology).total_watts
                           / topology.num_hosts)
         for load in offered_loads:
-            network = FbflyNetwork(topology, NetworkConfig(seed=seed))
-            workload = UniformRandomWorkload(
-                topology.num_hosts, offered_load=load,
-                message_bytes=64 * 1024, seed=seed,
-                line_rate_gbps=network.config.ladder.max_rate)
-            network.attach_workload(
-                workload.events(0.7 * scale.duration_ns))
-            stats = network.run(until_ns=scale.duration_ns)
-            points.append(OversubscriptionPoint(
-                c=c,
-                oversubscription=topology.oversubscription,
-                num_hosts=topology.num_hosts,
-                network_watts_per_host=watts_per_host,
-                offered_load=load,
-                delivered_fraction=stats.delivered_fraction(),
-                mean_latency_ns=stats.mean_message_latency_ns(),
-            ))
+            spec = SimulationSpec(
+                k=scale.k, n=scale.n, workload="uniform",
+                duration_ns=scale.duration_ns, seed=seed,
+                control=CONTROL_NONE, uniform_offered_load=load,
+                concentration=c, message_bytes=64 * 1024,
+                inject_fraction=0.7,
+            )
+            grid.append((c, topology, watts_per_host, load, spec))
+            batch.append(spec)
+    results = sweep(batch)
+    points: List[OversubscriptionPoint] = []
+    for c, topology, watts_per_host, load, spec in grid:
+        summary = results[spec]
+        points.append(OversubscriptionPoint(
+            c=c,
+            oversubscription=topology.oversubscription,
+            num_hosts=topology.num_hosts,
+            network_watts_per_host=watts_per_host,
+            offered_load=load,
+            delivered_fraction=summary.delivered_fraction,
+            mean_latency_ns=summary.mean_message_latency_ns,
+        ))
     return OversubscriptionResult(points=points)
 
 

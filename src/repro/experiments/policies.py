@@ -18,9 +18,9 @@ from repro.experiments.runner import (
     SimulationSpec,
     SimulationSummary,
     baseline_spec,
-    cached_run,
 )
 from repro.experiments.scale import ExperimentScale, current_scale
+from repro.experiments.sweep import sweep
 
 POLICIES = ("threshold", "aggressive", "hysteresis", "predictive")
 
@@ -67,12 +67,13 @@ def run(scale: Optional[ExperimentScale] = None,
         duration_ns=scale.duration_ns,
         independent_channels=True,
     )
-    baseline = cached_run(baseline_spec(base))
-    by_policy = {
-        policy: cached_run(replace(base, policy=policy))
-        for policy in policies
-    }
-    return PoliciesResult(workload=workload, baseline=baseline,
+    base_ref = baseline_spec(base)
+    policy_specs = {policy: replace(base, policy=policy)
+                    for policy in policies}
+    results = sweep([base_ref, *policy_specs.values()])
+    by_policy = {policy: results[spec]
+                 for policy, spec in policy_specs.items()}
+    return PoliciesResult(workload=workload, baseline=results[base_ref],
                           by_policy=by_policy)
 
 

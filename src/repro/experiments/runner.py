@@ -9,7 +9,6 @@ one process.
 
 from __future__ import annotations
 
-import functools
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
@@ -62,17 +61,22 @@ class SimulationSpec:
     epoch_ns: Optional[float] = None     # None -> 10x reactivation
     independent_channels: bool = False
     uniform_offered_load: float = 0.25
+    concentration: Optional[int] = None  # hosts per switch; None -> k
+    message_bytes: Optional[int] = None  # uniform workload override
+    inject_fraction: float = 1.0         # inject over this duration slice
 
     def build_topology(self) -> FlattenedButterfly:
         """Construct the FBFLY this spec describes."""
-        return FlattenedButterfly(k=self.k, n=self.n)
+        return FlattenedButterfly(k=self.k, n=self.n, c=self.concentration)
 
     def build_workload(self, num_hosts: int, line_rate_gbps: float):
         """Construct the spec's workload for a host count."""
         if self.workload == "uniform":
+            extra = ({} if self.message_bytes is None
+                     else {"message_bytes": self.message_bytes})
             return UniformRandomWorkload(
                 num_hosts, offered_load=self.uniform_offered_load,
-                line_rate_gbps=line_rate_gbps, seed=self.seed)
+                line_rate_gbps=line_rate_gbps, seed=self.seed, **extra)
         if self.workload == "search":
             return search_workload(num_hosts, seed=self.seed,
                                    line_rate_gbps=line_rate_gbps)
@@ -140,7 +144,8 @@ def run_simulation(spec: SimulationSpec) -> SimulationSummary:
 
     workload = spec.build_workload(
         topology.num_hosts, net_config.ladder.max_rate)
-    network.attach_workload(workload.events(spec.duration_ns))
+    network.attach_workload(
+        workload.events(spec.inject_fraction * spec.duration_ns))
     stats = network.run(until_ns=spec.duration_ns)
 
     return SimulationSummary(
@@ -161,17 +166,30 @@ def run_simulation(spec: SimulationSpec) -> SimulationSummary:
     )
 
 
-@functools.lru_cache(maxsize=128)
 def cached_run(spec: SimulationSpec) -> SimulationSummary:
-    """Memoized :func:`run_simulation` (specs are frozen dataclasses)."""
-    return run_simulation(spec)
+    """Cached :func:`run_simulation` via the sweep subsystem.
+
+    Routes through :func:`repro.experiments.sweep.run_cached`: a bounded
+    LRU memo (so repeated in-process lookups return the same object)
+    backed by the persistent disk cache when one is enabled.
+    """
+    from repro.experiments import sweep as _sweep   # avoid import cycle
+    return _sweep.run_cached(spec)
 
 
 def baseline_spec(spec: SimulationSpec) -> SimulationSpec:
-    """The full-rate baseline twin of a controlled spec."""
+    """The full-rate baseline twin of a controlled spec.
+
+    Control-only knobs (policy, target, reactivation) reset to defaults
+    so every controlled variant shares one baseline run — and hence one
+    cache entry.
+    """
     return SimulationSpec(
         k=spec.k, n=spec.n, workload=spec.workload,
         duration_ns=spec.duration_ns, seed=spec.seed,
         control=CONTROL_NONE,
         uniform_offered_load=spec.uniform_offered_load,
+        concentration=spec.concentration,
+        message_bytes=spec.message_bytes,
+        inject_fraction=spec.inject_fraction,
     )

@@ -1,0 +1,340 @@
+"""Parallel sweep execution: many simulation runs, one harness.
+
+The paper's headline results (Figures 7-9, the policy ablation, the
+over-subscription sweep) are all batches of *independent* runs, so the
+:class:`SweepRunner` executes them as one: deduplicate the submitted
+:class:`~repro.experiments.runner.SimulationSpec` list, satisfy what it
+can from a bounded in-process memo and the persistent disk cache
+(:mod:`repro.experiments.cache`), and fan the remaining misses out
+across worker processes with ``concurrent.futures.ProcessPoolExecutor``.
+
+Because results cross process and session boundaries, bit-exact
+determinism of ``run_simulation`` is a hard requirement — enforced by
+``tests/test_sweep_determinism.py`` and the golden-value layer.
+
+Experiments call the module-level :func:`sweep` / :func:`run_cached`,
+which route through a process-wide default runner.  The CLI's
+``--jobs/--no-cache/--cache-dir`` flags call :func:`configure`;
+the ``REPRO_JOBS``, ``REPRO_CACHE`` and ``REPRO_CACHE_DIR`` environment
+variables set the defaults everywhere else (benchmarks included), and
+:func:`using_runner` scopes an explicit runner for tests.
+
+Per-sweep accounting follows the :mod:`repro.sim.stats` idiom: plain
+counters on a :class:`SweepStats` object (runs executed vs. memo/cache
+hits, wall clock, per-run latency), merged into the runner's lifetime
+totals and printable via :meth:`SweepStats.format_line`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.experiments.cache import (
+    LRUCache,
+    SweepCache,
+    default_cache_dir,
+)
+from repro.experiments.runner import (
+    SimulationSpec,
+    SimulationSummary,
+    run_simulation,
+)
+
+#: Environment variables configuring the default runner.
+JOBS_ENV = "REPRO_JOBS"
+CACHE_ENV = "REPRO_CACHE"
+
+#: Bound on the default in-process memo (the old ``functools.lru_cache``
+#: memo was this size too, but fronted no persistent layer).
+DEFAULT_MEMO_SIZE = 128
+
+
+def _execute_spec(spec: SimulationSpec) -> SimulationSummary:
+    """Worker entry point: run one spec (top-level, hence picklable)."""
+    return run_simulation(spec)
+
+
+@dataclass
+class SweepStats:
+    """Counters for sweep executions, ``repro.sim.stats``-style.
+
+    Attributes:
+        submitted: Specs handed to :meth:`SweepRunner.run` (pre-dedup).
+        unique: Distinct specs after deduplication.
+        memo_hits: Served from the in-process LRU memo.
+        cache_hits: Served from the persistent disk cache.
+        executed: Actually simulated this time.
+        wall_seconds: Harness wall-clock across the counted sweeps.
+        run_seconds_total: Sum of per-run simulation wall times.
+        run_seconds_max: Slowest single run.
+    """
+
+    submitted: int = 0
+    unique: int = 0
+    memo_hits: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    wall_seconds: float = 0.0
+    run_seconds_total: float = 0.0
+    run_seconds_max: float = 0.0
+
+    def record_run(self, seconds: float) -> None:
+        """Count one executed simulation taking ``seconds`` of wall time."""
+        self.executed += 1
+        self.run_seconds_total += seconds
+        if seconds > self.run_seconds_max:
+            self.run_seconds_max = seconds
+
+    @property
+    def hits(self) -> int:
+        """Total lookups satisfied without simulating."""
+        return self.memo_hits + self.cache_hits
+
+    @property
+    def mean_run_seconds(self) -> float:
+        """Average wall time of the runs actually executed."""
+        return self.run_seconds_total / self.executed if self.executed else 0.0
+
+    def merge(self, other: "SweepStats") -> None:
+        """Fold another stats object's counters into this one."""
+        self.submitted += other.submitted
+        self.unique += other.unique
+        self.memo_hits += other.memo_hits
+        self.cache_hits += other.cache_hits
+        self.executed += other.executed
+        self.wall_seconds += other.wall_seconds
+        self.run_seconds_total += other.run_seconds_total
+        if other.run_seconds_max > self.run_seconds_max:
+            self.run_seconds_max = other.run_seconds_max
+
+    def delta(self, baseline: "SweepStats") -> "SweepStats":
+        """Counters accumulated since a ``baseline`` snapshot."""
+        return SweepStats(
+            submitted=self.submitted - baseline.submitted,
+            unique=self.unique - baseline.unique,
+            memo_hits=self.memo_hits - baseline.memo_hits,
+            cache_hits=self.cache_hits - baseline.cache_hits,
+            executed=self.executed - baseline.executed,
+            wall_seconds=self.wall_seconds - baseline.wall_seconds,
+            run_seconds_total=(self.run_seconds_total
+                               - baseline.run_seconds_total),
+            run_seconds_max=self.run_seconds_max,
+        )
+
+    def snapshot(self) -> "SweepStats":
+        """A copy of the current counters (for later :meth:`delta`)."""
+        return SweepStats(
+            submitted=self.submitted, unique=self.unique,
+            memo_hits=self.memo_hits, cache_hits=self.cache_hits,
+            executed=self.executed, wall_seconds=self.wall_seconds,
+            run_seconds_total=self.run_seconds_total,
+            run_seconds_max=self.run_seconds_max,
+        )
+
+    def format_line(self) -> str:
+        """One printable line: executed vs hits, wall clock, latency."""
+        parts = [
+            f"{self.executed} run",
+            f"{self.memo_hits} memo-hit",
+            f"{self.cache_hits} cache-hit",
+            f"wall {self.wall_seconds:.2f}s",
+        ]
+        if self.executed:
+            parts.append(f"mean run {self.mean_run_seconds:.2f}s")
+            parts.append(f"max run {self.run_seconds_max:.2f}s")
+        return ", ".join(parts)
+
+
+class SweepRunner:
+    """Executes batches of simulation specs with dedup, cache and workers.
+
+    Args:
+        jobs: Worker process count; ``None`` means ``os.cpu_count()``.
+            Batches with a single miss (and ``jobs=1``) run in-process.
+        use_cache: Whether to read/write the persistent disk cache.
+        cache: An explicit :class:`SweepCache` (overrides ``cache_dir``).
+        cache_dir: Directory for a fresh cache when ``cache`` is absent.
+        memo_size: Bound of the in-process LRU memo.
+    """
+
+    def __init__(self, jobs: Optional[int] = None, use_cache: bool = True,
+                 cache: Optional[SweepCache] = None,
+                 cache_dir: Optional[Path] = None,
+                 memo_size: int = DEFAULT_MEMO_SIZE):
+        self.jobs = (os.cpu_count() or 1) if jobs is None else int(jobs)
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if cache is not None:
+            self.cache: Optional[SweepCache] = cache
+        elif use_cache:
+            self.cache = SweepCache(cache_dir or default_cache_dir())
+        else:
+            self.cache = None
+        self.memo = LRUCache(memo_size)
+        self.stats = SweepStats()
+        self.last_stats = SweepStats()
+
+    # -- lookups -------------------------------------------------------
+
+    def _lookup(self, spec: SimulationSpec,
+                batch: SweepStats) -> Optional[SimulationSummary]:
+        """Memo then disk; promotes disk hits into the memo."""
+        hit = self.memo.get(spec)
+        if hit is not None:
+            batch.memo_hits += 1
+            return hit
+        if self.cache is not None:
+            stored = self.cache.get(spec)
+            if stored is not None:
+                batch.cache_hits += 1
+                self.memo.put(spec, stored)
+                return stored
+        return None
+
+    def _store(self, spec: SimulationSpec,
+               summary: SimulationSummary) -> None:
+        """Record a fresh result in the memo and (if enabled) on disk."""
+        self.memo.put(spec, summary)
+        if self.cache is not None:
+            self.cache.put(spec, summary)
+
+    # -- execution -----------------------------------------------------
+
+    def run(self, specs: Iterable[SimulationSpec]
+            ) -> Dict[SimulationSpec, SimulationSummary]:
+        """Execute a batch of specs; returns ``{spec: summary}``.
+
+        Duplicates are collapsed before execution, cache layers are
+        consulted per spec, and the remaining misses run across the
+        worker pool.  The returned dict is keyed by the distinct specs
+        in first-submission order.
+        """
+        started = time.perf_counter()
+        batch = SweepStats()
+        ordered: List[SimulationSpec] = []
+        seen = set()
+        for spec in specs:
+            batch.submitted += 1
+            if spec not in seen:
+                seen.add(spec)
+                ordered.append(spec)
+        batch.unique = len(ordered)
+
+        results: Dict[SimulationSpec, SimulationSummary] = {}
+        misses: List[SimulationSpec] = []
+        for spec in ordered:
+            hit = self._lookup(spec, batch)
+            if hit is not None:
+                results[spec] = hit
+            else:
+                misses.append(spec)
+
+        for spec, summary in zip(misses, self._execute_batch(misses)):
+            batch.record_run(summary.wall_seconds)
+            self._store(spec, summary)
+            results[spec] = summary
+
+        batch.wall_seconds = time.perf_counter() - started
+        self.stats.merge(batch)
+        self.last_stats = batch
+        return {spec: results[spec] for spec in ordered}
+
+    def _execute_batch(
+            self, misses: Sequence[SimulationSpec]
+    ) -> List[SimulationSummary]:
+        """Run cache misses — across the pool when it pays, else inline."""
+        if not misses:
+            return []
+        workers = min(self.jobs, len(misses))
+        if workers <= 1:
+            return [_execute_spec(spec) for spec in misses]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_execute_spec, misses))
+
+    def run_one(self, spec: SimulationSpec) -> SimulationSummary:
+        """Run (or recall) a single spec through the same layers."""
+        return self.run([spec])[spec]
+
+
+# ---------------------------------------------------------------------------
+# Process-wide default runner
+# ---------------------------------------------------------------------------
+
+_default_runner: Optional[SweepRunner] = None
+_runner_stack: List[SweepRunner] = []
+
+
+def _env_default_jobs() -> Optional[int]:
+    """``REPRO_JOBS`` as an int, or ``None`` for the cpu-count default."""
+    raw = os.environ.get(JOBS_ENV)
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"{JOBS_ENV}={raw!r} is not an integer") from None
+
+
+def _env_default_use_cache() -> bool:
+    """``REPRO_CACHE`` truthiness (default off: library/tests run live)."""
+    return os.environ.get(CACHE_ENV, "0").lower() in ("1", "true", "yes", "on")
+
+
+def default_runner() -> SweepRunner:
+    """The lazily-created process-wide runner (env-configured)."""
+    global _default_runner
+    if _default_runner is None:
+        _default_runner = SweepRunner(
+            jobs=_env_default_jobs(),
+            use_cache=_env_default_use_cache(),
+        )
+    return _default_runner
+
+
+def configure(jobs: Optional[int] = None, use_cache: bool = True,
+              cache_dir: Optional[Path] = None,
+              memo_size: int = DEFAULT_MEMO_SIZE) -> SweepRunner:
+    """Replace the default runner (the CLI flag hook); returns it."""
+    global _default_runner
+    _default_runner = SweepRunner(jobs=jobs, use_cache=use_cache,
+                                  cache_dir=cache_dir, memo_size=memo_size)
+    return _default_runner
+
+
+def active_runner() -> SweepRunner:
+    """The runner in effect: the innermost :func:`using_runner`, else
+    the process default."""
+    if _runner_stack:
+        return _runner_stack[-1]
+    return default_runner()
+
+
+@contextlib.contextmanager
+def using_runner(runner: SweepRunner) -> Iterator[SweepRunner]:
+    """Scope an explicit runner over :func:`sweep`/:func:`run_cached`.
+
+    The test layer uses this to pin isolated cache directories and
+    worker counts without touching process-global state.
+    """
+    _runner_stack.append(runner)
+    try:
+        yield runner
+    finally:
+        _runner_stack.pop()
+
+
+def sweep(specs: Iterable[SimulationSpec]
+          ) -> Dict[SimulationSpec, SimulationSummary]:
+    """Run a batch of specs through the active runner."""
+    return active_runner().run(specs)
+
+
+def run_cached(spec: SimulationSpec) -> SimulationSummary:
+    """Run (or recall) one spec through the active runner."""
+    return active_runner().run_one(spec)

@@ -3,7 +3,16 @@
 import pytest
 
 from repro.cli import EXPERIMENTS, build_parser, main, run_experiment
+from repro.experiments import sweep as sweep_mod
 from repro.experiments.scale import SCALES
+
+
+@pytest.fixture(autouse=True)
+def restore_default_runner():
+    """main() reconfigures the process-wide sweep runner; undo it."""
+    saved = sweep_mod._default_runner
+    yield
+    sweep_mod._default_runner = saved
 
 
 class TestParser:
@@ -23,6 +32,24 @@ class TestParser:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure42"])
+
+    def test_sweep_flags(self, tmp_path):
+        args = build_parser().parse_args(
+            ["figure7", "--jobs", "4", "--no-cache",
+             "--cache-dir", str(tmp_path)])
+        assert args.jobs == 4
+        assert args.no_cache is True
+        assert args.cache_dir == tmp_path
+
+    def test_sweep_flags_default_off(self):
+        args = build_parser().parse_args(["figure7"])
+        assert args.jobs is None
+        assert args.no_cache is False
+        assert args.cache_dir is None
+
+    def test_golden_refresh_is_a_choice(self):
+        args = build_parser().parse_args(["golden-refresh"])
+        assert args.experiment == "golden-refresh"
 
 
 class TestExecution:
@@ -86,3 +113,24 @@ class TestExecution:
     def test_json_requires_output_silently_skips(self, capsys):
         # --json without --output is a no-op rather than an error.
         assert main(["table2", "--json"]) == 0
+
+    def test_golden_refresh_writes_requested_directory(
+            self, tmp_path, capsys):
+        assert main(["golden-refresh", "--output", str(tmp_path),
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        for name in ("table1", "figure1", "figure7"):
+            assert (tmp_path / f"{name}.json").exists()
+
+    def test_simulation_experiment_reports_sweep_stats(
+            self, tmp_path, capsys):
+        assert main(["figure7", "--jobs", "1",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "[sweep:" in out
+        # A second invocation is served from the persistent cache.
+        assert main(["figure7", "--jobs", "1",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 run" in out and "2 cache-hit" in out

@@ -1,0 +1,88 @@
+"""Golden-value regression: frozen headline numbers must not drift.
+
+``tests/golden/*.json`` freezes the seed repo's Table 1 part counts,
+Figure 1 scenario watts and Figure 7 run digests.  Each test recomputes
+the payload live (the Figure 7 one through an isolated no-cache sweep
+runner, so a stale cache can never mask drift) and compares within
+1e-9.  Refresh deliberately with ``python -m repro golden-refresh`` or
+``make golden-refresh`` after an *intentional* result change.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import golden
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+class TestGoldenFiles:
+    def test_every_golden_file_exists(self):
+        for name in golden.GOLDEN_BUILDERS:
+            assert (GOLDEN_DIR / f"{name}.json").exists(), (
+                f"missing golden file for {name}; run "
+                "`python -m repro golden-refresh`")
+
+    def test_table1_part_counts_match(self):
+        frozen = golden.load(GOLDEN_DIR, "table1")
+        golden.assert_close(frozen, golden.table1_payload())
+
+    def test_table1_headline_values(self):
+        # The paper's numbers, spelled out: any regression here is a
+        # modelling change, not a refactor.
+        frozen = golden.load(GOLDEN_DIR, "table1")
+        assert frozen["clos"]["num_hosts"] == 32768
+        assert frozen["fbfly"]["num_hosts"] == 32768
+        assert frozen["fbfly"]["switch_chips"] < \
+            0.6 * frozen["clos"]["switch_chips"]
+
+    def test_figure1_scenarios_match(self):
+        frozen = golden.load(GOLDEN_DIR, "figure1")
+        golden.assert_close(frozen, golden.figure1_payload())
+
+    def test_figure7_simulation_digest_matches(self):
+        frozen = golden.load(GOLDEN_DIR, "figure7")
+        golden.assert_close(frozen, golden.figure7_payload())
+
+
+class TestAssertClose:
+    def test_accepts_tiny_float_noise(self):
+        golden.assert_close({"x": 1.0}, {"x": 1.0 + 1e-12})
+
+    def test_rejects_real_drift(self):
+        with pytest.raises(AssertionError, match=r"\$\.x"):
+            golden.assert_close({"x": 1.0}, {"x": 1.001})
+
+    def test_rejects_shape_changes(self):
+        with pytest.raises(AssertionError):
+            golden.assert_close({"x": 1.0}, {"x": 1.0, "y": 2.0})
+        with pytest.raises(AssertionError):
+            golden.assert_close([1, 2], [1, 2, 3])
+
+    def test_rejects_type_confusion(self):
+        with pytest.raises(AssertionError):
+            golden.assert_close({"x": True}, {"x": 1})
+        with pytest.raises(AssertionError):
+            golden.assert_close({"x": None}, {"x": 0})
+
+    def test_exact_match_for_strings_and_ints(self):
+        golden.assert_close({"s": "epoch", "n": 64}, {"s": "epoch", "n": 64})
+        with pytest.raises(AssertionError):
+            golden.assert_close({"s": "epoch"}, {"s": "none"})
+
+
+class TestRefreshRoundTrip:
+    def test_refresh_writes_loadable_files(self, tmp_path):
+        # Only the analytic builders (fast); figure7 is covered above.
+        paths = []
+        for name in ("table1", "figure1"):
+            payload = golden.GOLDEN_BUILDERS[name]()
+            path = tmp_path / f"{name}.json"
+            import json
+            path.write_text(json.dumps(payload, sort_keys=True, indent=1))
+            paths.append(path)
+            golden.assert_close(golden.load(tmp_path, name), payload)
+        assert all(p.exists() for p in paths)

@@ -1,0 +1,276 @@
+"""Property tests for the persistent run cache and its key function.
+
+The cache key must be *stable* (same spec -> same key, regardless of
+dict ordering, process, or hash randomization), *distinct* (specs
+differing in any simulated field -> different keys), and *versioned*
+(bumping the schema version invalidates every old entry).  The memo
+layer must honour its LRU bound — the fix for ``cached_run``'s old
+unbounded-by-contract memo.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments import sweep as sweep_mod
+from repro.experiments.cache import (
+    CACHE_SCHEMA_VERSION,
+    LRUCache,
+    SweepCache,
+    canonical_spec_json,
+    spec_from_dict,
+    spec_key,
+    spec_to_dict,
+    summary_digest,
+    summary_from_dict,
+    summary_to_dict,
+)
+from repro.experiments.runner import (
+    CONTROL_EPOCH,
+    CONTROL_NONE,
+    SimulationSpec,
+    cached_run,
+    run_simulation,
+)
+from repro.experiments.sweep import SweepRunner, using_runner
+
+SRC_DIR = str(Path(__file__).resolve().parents[1] / "src")
+
+TINY = SimulationSpec(k=2, n=2, duration_ns=50_000.0, control=CONTROL_NONE)
+
+
+def spec_strategy() -> st.SearchStrategy:
+    """Random-but-valid SimulationSpecs for the key properties."""
+    return st.builds(
+        SimulationSpec,
+        k=st.integers(min_value=2, max_value=8),
+        n=st.integers(min_value=2, max_value=4),
+        workload=st.sampled_from(["uniform", "search", "advert"]),
+        duration_ns=st.floats(min_value=1_000.0, max_value=1e7,
+                              allow_nan=False, allow_infinity=False),
+        seed=st.integers(min_value=0, max_value=2**31),
+        control=st.sampled_from(["none", "epoch", "always_slowest"]),
+        policy=st.sampled_from(["threshold", "hysteresis", "aggressive",
+                                "predictive"]),
+        target_utilization=st.floats(min_value=0.05, max_value=0.95,
+                                     allow_nan=False),
+        reactivation_ns=st.floats(min_value=10.0, max_value=1e6,
+                                  allow_nan=False),
+        epoch_ns=st.one_of(st.none(),
+                           st.floats(min_value=100.0, max_value=1e6,
+                                     allow_nan=False)),
+        independent_channels=st.booleans(),
+        uniform_offered_load=st.floats(min_value=0.01, max_value=1.0,
+                                       allow_nan=False),
+        concentration=st.one_of(st.none(),
+                                st.integers(min_value=1, max_value=16)),
+        message_bytes=st.one_of(st.none(),
+                                st.integers(min_value=64, max_value=2**20)),
+        inject_fraction=st.floats(min_value=0.1, max_value=1.0,
+                                  allow_nan=False),
+    )
+
+
+class TestSpecKey:
+    @given(spec_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_key_is_deterministic(self, spec):
+        assert spec_key(spec) == spec_key(spec)
+        assert spec_key(spec) == spec_key(replace(spec))
+
+    @given(spec_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_key_independent_of_field_ordering(self, spec):
+        # Round-tripping through a reversed-insertion-order dict must
+        # not change the canonical encoding (and hence the key).
+        shuffled = dict(reversed(list(spec_to_dict(spec).items())))
+        assert spec_key(spec_from_dict(shuffled)) == spec_key(spec)
+        assert json.loads(canonical_spec_json(spec)) == spec_to_dict(spec)
+
+    @given(spec_strategy(), spec_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_distinct_specs_never_collide(self, a, b):
+        if a != b:
+            assert spec_key(a) != spec_key(b)
+        else:
+            assert spec_key(a) == spec_key(b)
+
+    @given(spec_strategy())
+    @settings(max_examples=25, deadline=None)
+    def test_schema_bump_changes_every_key(self, spec):
+        assert (spec_key(spec, schema_version=CACHE_SCHEMA_VERSION)
+                != spec_key(spec, schema_version=CACHE_SCHEMA_VERSION + 1))
+
+    def test_key_stable_across_processes_and_hash_seeds(self):
+        spec = SimulationSpec(k=3, n=3, workload="advert", seed=42,
+                              target_utilization=0.75)
+        expected = spec_key(spec)
+        code = (
+            "from repro.experiments.cache import spec_key;"
+            "from repro.experiments.runner import SimulationSpec;"
+            "print(spec_key(SimulationSpec(k=3, n=3, workload='advert',"
+            "seed=42, target_utilization=0.75)))"
+        )
+        for hash_seed in ("0", "424242"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed,
+                       PYTHONPATH=SRC_DIR)
+            out = subprocess.run(
+                [sys.executable, "-c", code], env=env, check=True,
+                capture_output=True, text=True).stdout.strip()
+            assert out == expected
+
+
+class TestSweepCache:
+    def test_round_trip(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        assert cache.get(TINY) is None
+        summary = run_simulation(TINY)
+        cache.put(TINY, summary)
+        loaded = cache.get(TINY)
+        assert loaded is not None
+        assert summary_to_dict(loaded) == summary_to_dict(summary)
+        assert len(cache) == 1
+
+    def test_schema_bump_invalidates_old_entries(self, tmp_path):
+        old = SweepCache(tmp_path, schema_version=CACHE_SCHEMA_VERSION)
+        old.put(TINY, run_simulation(TINY))
+        bumped = SweepCache(tmp_path,
+                            schema_version=CACHE_SCHEMA_VERSION + 1)
+        assert bumped.get(TINY) is None
+        assert old.get(TINY) is not None
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.put(TINY, run_simulation(TINY))
+        cache.path_for(TINY).write_text("{not json")
+        assert cache.get(TINY) is None
+
+    def test_wrong_key_payload_reads_as_miss(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.put(TINY, run_simulation(TINY))
+        other = replace(TINY, seed=999)
+        # Copy TINY's entry under other's path: stored key won't match.
+        cache.path_for(other).write_text(cache.path_for(TINY).read_text())
+        assert cache.get(other) is None
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.put(TINY, run_simulation(TINY))
+        assert cache.clear() == 1
+        assert len(cache) == 0
+        assert cache.get(TINY) is None
+
+    def test_summary_round_trip_preserves_none_rate_key(self):
+        summary = run_simulation(TINY)
+        summary.time_at_rate[None] = 0.125
+        again = summary_from_dict(summary_to_dict(summary))
+        assert again.time_at_rate[None] == 0.125
+        assert summary_digest(again) == summary_digest(summary)
+
+
+class TestLRUBound:
+    def test_lru_cache_respects_bound(self):
+        lru = LRUCache(maxsize=3)
+        for i in range(5):
+            lru.put(i, str(i))
+        assert len(lru) == 3
+        assert 0 not in lru and 1 not in lru
+        assert lru.get(2) == "2"
+
+    def test_lru_get_refreshes_recency(self):
+        lru = LRUCache(maxsize=2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        assert lru.get("a") == 1     # refresh "a"; "b" is now LRU
+        lru.put("c", 3)
+        assert "b" not in lru
+        assert lru.get("a") == 1 and lru.get("c") == 3
+
+    def test_lru_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            LRUCache(maxsize=0)
+
+    def test_runner_rejects_nonpositive_jobs(self):
+        with pytest.raises(ValueError):
+            SweepRunner(jobs=0, use_cache=False)
+        with pytest.raises(ValueError):
+            SweepRunner(jobs=-3, use_cache=False)
+
+    def test_cache_rejects_non_directory_path(self, tmp_path):
+        clash = tmp_path / "a-file"
+        clash.write_text("")
+        with pytest.raises(ValueError):
+            SweepCache(clash)
+
+    def test_runner_memo_respects_bound(self, monkeypatch):
+        executed = []
+
+        def fake_execute(spec):
+            executed.append(spec)
+            return run_simulation(TINY)
+
+        monkeypatch.setattr(sweep_mod, "_execute_spec", fake_execute)
+        runner = SweepRunner(jobs=1, use_cache=False, memo_size=2)
+        specs = [replace(TINY, seed=s) for s in range(4)]
+        for spec in specs:
+            runner.run_one(spec)
+        assert len(runner.memo) == 2
+        # The two most recent stay memoized; the eldest re-executes.
+        before = len(executed)
+        runner.run_one(specs[-1])
+        assert len(executed) == before
+        runner.run_one(specs[0])
+        assert len(executed) == before + 1
+
+    def test_cached_run_routes_through_bounded_memo(self, monkeypatch):
+        executed = []
+
+        def fake_execute(spec):
+            executed.append(spec)
+            return run_simulation(TINY)
+
+        monkeypatch.setattr(sweep_mod, "_execute_spec", fake_execute)
+        runner = SweepRunner(jobs=1, use_cache=False, memo_size=2)
+        with using_runner(runner):
+            specs = [replace(TINY, seed=100 + s) for s in range(3)]
+            for spec in specs:
+                cached_run(spec)
+            assert len(runner.memo) == 2
+            # A memoized spec returns the identical object, free.
+            assert cached_run(specs[-1]) is cached_run(specs[-1])
+        assert len(executed) == 3
+
+
+class TestRunnerCacheInterplay:
+    def test_disk_hits_and_memo_hits_are_counted(self, tmp_path):
+        runner = SweepRunner(jobs=1, cache=SweepCache(tmp_path))
+        runner.run([TINY])
+        assert runner.last_stats.executed == 1
+        runner.run([TINY])           # memo hit
+        assert runner.last_stats.memo_hits == 1
+        fresh = SweepRunner(jobs=1, cache=SweepCache(tmp_path))
+        fresh.run([TINY])            # cold memo, warm disk
+        assert fresh.last_stats.cache_hits == 1
+        assert fresh.last_stats.executed == 0
+
+    def test_duplicates_deduplicated_before_execution(self, tmp_path):
+        runner = SweepRunner(jobs=1, cache=SweepCache(tmp_path))
+        results = runner.run([TINY, TINY, replace(TINY, seed=5), TINY])
+        assert runner.last_stats.submitted == 4
+        assert runner.last_stats.unique == 2
+        assert runner.last_stats.executed == 2
+        assert set(results) == {TINY, replace(TINY, seed=5)}
+
+    def test_no_cache_runner_never_touches_disk(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "unused"))
+        runner = SweepRunner(jobs=1, use_cache=False)
+        runner.run([TINY])
+        assert not (tmp_path / "unused").exists()
