@@ -4,9 +4,19 @@ The figure benchmarks (`bench_figure7/8/9.py`) now route through the
 sweep harness implicitly; this file benchmarks the harness itself on a
 batch of small runs, demonstrating the executed-vs-cache-hit accounting
 and the warm-cache fast path that makes figure re-runs near-instant.
+
+Besides the pytest-benchmark timings, this module writes a
+``BENCH_sweep.json`` trajectory artifact (into ``$REPRO_BENCH_DIR`` or
+the working directory): the cold/warm sweep counters as JSON, so CI can
+archive harness performance run-over-run.
 """
 
+import json
+import os
 from dataclasses import replace
+from pathlib import Path
+
+import pytest
 
 from conftest import run_once
 
@@ -14,14 +24,37 @@ from repro.experiments.cache import SweepCache, summary_digest
 from repro.experiments.runner import SimulationSpec
 from repro.experiments.sweep import SweepRunner
 
+#: Directory override for the trajectory artifact.
+ARTIFACT_DIR_ENV = "REPRO_BENCH_DIR"
+
 BASE = SimulationSpec(k=2, n=2, duration_ns=200_000.0)
 SPECS = [replace(BASE, seed=seed) for seed in range(1, 5)]
+
+#: Phase name -> SweepStats dict, accumulated across the benchmarks
+#: below and dumped once at module teardown.
+_trajectory = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_sweep_artifact():
+    """Write the BENCH_sweep.json trajectory artifact at teardown."""
+    yield
+    out_dir = Path(os.environ.get(ARTIFACT_DIR_ENV, "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "benchmark": "sweep",
+        "specs": len(SPECS),
+        "phases": _trajectory,
+    }
+    (out_dir / "BENCH_sweep.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 def test_sweep_cold(benchmark, tmp_path):
     runner = SweepRunner(jobs=1, cache=SweepCache(tmp_path / "cache"))
     results = run_once(benchmark, runner.run, SPECS)
     print("\n[sweep cold] " + runner.last_stats.format_line())
+    _trajectory["cold"] = runner.last_stats.to_dict()
 
     assert runner.last_stats.executed == len(SPECS)
     assert runner.last_stats.cache_hits == 0
@@ -36,6 +69,7 @@ def test_sweep_warm_cache(benchmark, tmp_path):
     warm = SweepRunner(jobs=1, cache=SweepCache(cache_dir))
     results = run_once(benchmark, warm.run, SPECS)
     print("\n[sweep warm] " + warm.last_stats.format_line())
+    _trajectory["warm"] = warm.last_stats.to_dict()
 
     assert warm.last_stats.executed == 0
     assert warm.last_stats.cache_hits == len(SPECS)

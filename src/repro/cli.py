@@ -9,6 +9,11 @@ Usage::
     python -m repro figure9 --jobs 4          # parallel sweep workers
     python -m repro figure7 --no-cache        # force live simulation
     python -m repro golden-refresh            # rewrite tests/golden/*.json
+    python -m repro figure8 --run-log runs.jsonl   # provenance records
+    python -m repro figure8 --stats-json stats.json
+    python -m repro obs summarize runs.jsonl
+    python -m repro obs diff before.jsonl after.jsonl
+    python -m repro obs export-trace --out trace.json
 
 Simulation-backed experiments honour ``--scale`` (equivalent to the
 ``REPRO_SCALE`` environment variable); analytic ones ignore it.  Their
@@ -17,7 +22,14 @@ runs go through the sweep harness (:mod:`repro.experiments.sweep`):
 cache (``--cache-dir``, default ``~/.cache/repro/sweeps``) keyed by
 spec content hash, so re-running a figure is near-instant; ``--no-cache``
 bypasses it.  A per-experiment ``[sweep: ...]`` line reports runs
-executed vs. cache hits and wall-clock.
+executed vs. cache hits and wall-clock; ``--stats-json`` writes the
+same counters machine-readably.
+
+Observability (:mod:`repro.obs`) surfaces through two hooks:
+``--run-log PATH`` (or ``$REPRO_RUN_LOG``) appends one
+provenance-stamped JSONL record per resolved spec, and the ``obs``
+subcommands inspect those logs (``summarize``, ``diff``) or export a
+Perfetto-loadable Chrome trace of a run (``export-trace``).
 """
 
 from __future__ import annotations
@@ -130,13 +142,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent run-cache directory "
              "(default: $REPRO_CACHE_DIR or ~/.cache/repro/sweeps)",
     )
+    parser.add_argument(
+        "--run-log", type=Path, default=None, metavar="PATH",
+        help="append one provenance-stamped JSONL run record per "
+             "resolved spec (cache hits marked cached:true); inspect "
+             "with 'python -m repro obs summarize PATH'",
+    )
+    parser.add_argument(
+        "--stats-json", type=Path, default=None, metavar="PATH",
+        help="write the per-experiment and total [sweep: ...] counters "
+             "as JSON for machine consumption",
+    )
     return parser
 
 
 def run_experiment(name: str, scale: ExperimentScale,
                    output_dir: Optional[Path],
-                   write_json: bool = False) -> str:
-    """Run one experiment and return its formatted table."""
+                   write_json: bool = False,
+                   stats_sink: Optional[list] = None) -> str:
+    """Run one experiment and return its formatted table.
+
+    When ``stats_sink`` is given (a list), one machine-readable entry
+    per experiment — name, scale, wall seconds and the sweep counters —
+    is appended to it (the ``--stats-json`` payload).
+    """
     description, needs_scale, run = EXPERIMENTS[name]
     started = time.perf_counter()
     before = sweep.active_runner().stats.snapshot()
@@ -147,6 +176,13 @@ def run_experiment(name: str, scale: ExperimentScale,
     header = f"[{name}] {description} ({elapsed:.1f}s)"
     if sweep_delta.submitted:
         header += f"\n[sweep: {sweep_delta.format_line()}]"
+    if stats_sink is not None:
+        stats_sink.append({
+            "experiment": name,
+            "scale": scale.name if needs_scale else None,
+            "seconds": round(elapsed, 3),
+            "sweep": sweep_delta.to_dict(),
+        })
     block = f"{header}\n{text}\n"
     if output_dir is not None:
         output_dir.mkdir(parents=True, exist_ok=True)
@@ -165,12 +201,173 @@ def run_experiment(name: str, scale: ExperimentScale,
     return block
 
 
+def build_obs_parser() -> argparse.ArgumentParser:
+    """Construct the parser for the ``obs`` subcommand family."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro obs",
+        description="Inspect run-record logs and export run traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sum = sub.add_parser(
+        "summarize",
+        help="summarize a --run-log JSONL file and audit its decisions")
+    p_sum.add_argument("run_log", type=Path,
+                       help="run-record JSONL file to summarize")
+
+    p_diff = sub.add_parser(
+        "diff", help="compare the metrics of two run-record logs")
+    p_diff.add_argument("log_a", type=Path, help="baseline run log")
+    p_diff.add_argument("log_b", type=Path, help="candidate run log")
+
+    p_tr = sub.add_parser(
+        "export-trace",
+        help="simulate one spec and write a Perfetto-loadable Chrome "
+             "trace (rate timelines, epoch marks, power samples)")
+    p_tr.add_argument("--out", type=Path, required=True, metavar="PATH",
+                      help="output trace JSON file")
+    p_tr.add_argument("--workload", default="search",
+                      choices=["uniform", "search", "advert"],
+                      help="workload to simulate (default: search)")
+    p_tr.add_argument("--k", type=int, default=4,
+                      help="FBFLY radix per dimension (default: 4)")
+    p_tr.add_argument("--n", type=int, default=3,
+                      help="FBFLY dimensions (default: 3)")
+    p_tr.add_argument("--seed", type=int, default=1,
+                      help="workload RNG seed (default: 1)")
+    p_tr.add_argument("--duration-ns", type=float, default=2_000_000.0,
+                      help="simulated duration in ns (default: 2e6)")
+    p_tr.add_argument("--control", default="epoch",
+                      choices=["epoch", "none", "always_slowest"],
+                      help="control mode (default: epoch)")
+    p_tr.add_argument("--policy", default="threshold",
+                      help="rate policy for epoch control "
+                           "(default: threshold)")
+    p_tr.add_argument("--independent-channels", action="store_true",
+                      help="tune each channel direction separately")
+    p_tr.add_argument("--power-period-ns", type=float, default=10_000.0,
+                      help="power-sample period in ns; 0 disables the "
+                           "power counter track (default: 1e4)")
+    return parser
+
+
+def _obs_summarize(run_log: Path) -> int:
+    """Implement ``obs summarize``: totals plus the decision audit."""
+    from repro.obs.runrecord import read_run_log, transitions_accounted
+
+    records = read_run_log(run_log)
+    if not records:
+        print(f"{run_log}: no run records")
+        return 1
+    cached = sum(1 for r in records if r.get("cached"))
+    keys = {r.get("cache_key") for r in records}
+    print(f"{run_log}: {len(records)} records "
+          f"({len(records) - cached} fresh, {cached} cached), "
+          f"{len(keys)} distinct specs")
+    unaccounted = 0
+    for record in records:
+        spec = record.get("spec", {})
+        metrics = record.get("metrics", {})
+        ok = transitions_accounted(record)
+        unaccounted += 0 if ok else 1
+        reasons = record.get("decisions", {}).get("counts", {})
+        decided = sum(reasons.values())
+        print(f"  {str(record.get('cache_key', ''))[:12]} "
+              f"{spec.get('workload', '?')} k={spec.get('k', '?')} "
+              f"n={spec.get('n', '?')} seed={spec.get('seed', '?')} "
+              f"control={spec.get('control', '?')} "
+              f"{'cached' if record.get('cached') else 'fresh '} "
+              f"reconfig={metrics.get('reconfigurations', 0)} "
+              f"decisions={decided} "
+              f"audit={'ok' if ok else 'MISMATCH'}")
+    if unaccounted:
+        print(f"AUDIT FAILURE: {unaccounted} record(s) do not account "
+              "for every reconfiguration")
+        return 1
+    print("decision audit: every reconfiguration accounted for")
+    return 0
+
+
+def _obs_diff(log_a: Path, log_b: Path) -> int:
+    """Implement ``obs diff``: metric drift between two run logs."""
+    from repro.obs.runrecord import read_run_log
+
+    def latest_by_key(path: Path):
+        by_key = {}
+        for record in read_run_log(path):
+            by_key[record.get("cache_key")] = record
+        return by_key
+
+    a, b = latest_by_key(log_a), latest_by_key(log_b)
+    differences = 0
+    for key in sorted(set(a) | set(b), key=str):
+        if key not in a:
+            print(f"only in {log_b}: {str(key)[:12]}")
+            differences += 1
+            continue
+        if key not in b:
+            print(f"only in {log_a}: {str(key)[:12]}")
+            differences += 1
+            continue
+        metrics_a = a[key].get("metrics", {})
+        metrics_b = b[key].get("metrics", {})
+        for field_name in sorted(set(metrics_a) | set(metrics_b), key=str):
+            va, vb = metrics_a.get(field_name), metrics_b.get(field_name)
+            if va != vb:
+                print(f"{str(key)[:12]} {field_name}: {va!r} -> {vb!r}")
+                differences += 1
+    if differences:
+        print(f"{differences} difference(s)")
+        return 1
+    print(f"identical metrics across {len(a)} spec(s)")
+    return 0
+
+
+def _obs_export_trace(args: argparse.Namespace) -> int:
+    """Implement ``obs export-trace``: simulate and write the trace."""
+    from repro.experiments.runner import SimulationSpec
+    from repro.obs.trace_export import export_trace
+
+    spec = SimulationSpec(
+        k=args.k, n=args.n, workload=args.workload,
+        duration_ns=args.duration_ns, seed=args.seed,
+        control=args.control, policy=args.policy,
+        independent_channels=args.independent_channels,
+    )
+    period = args.power_period_ns if args.power_period_ns > 0 else None
+    trace = export_trace(spec, args.out, power_period_ns=period)
+    meta = trace["otherData"]
+    print(f"wrote {args.out}: {len(trace['traceEvents'])} events, "
+          f"{meta['channels']} channel tracks, {meta['epochs']} epochs, "
+          f"{meta['transitions']} rate transitions")
+    return 0
+
+
+def obs_main(argv) -> int:
+    """Entry point for ``python -m repro obs ...``."""
+    args = build_obs_parser().parse_args(argv)
+    try:
+        if args.command == "summarize":
+            return _obs_summarize(args.run_log)
+        if args.command == "diff":
+            return _obs_diff(args.log_a, args.log_b)
+        return _obs_export_trace(args)
+    except (OSError, ValueError) as exc:
+        # Missing/corrupt run logs are user errors, not tracebacks.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def main(argv=None) -> int:
     """CLI entry point: run the experiment and print its table."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "obs":
+        return obs_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
 
     sweep.configure(jobs=args.jobs, use_cache=not args.no_cache,
-                    cache_dir=args.cache_dir)
+                    cache_dir=args.cache_dir, run_log=args.run_log)
 
     if args.experiment == "golden-refresh":
         target = args.output or golden.default_golden_dir()
@@ -188,9 +385,18 @@ def main(argv=None) -> int:
     scale = SCALES[args.scale] if args.scale else current_scale()
     names = (sorted(EXPERIMENTS) if args.experiment == "all"
              else [args.experiment])
+    stats_sink: Optional[list] = [] if args.stats_json else None
     for name in names:
         print(run_experiment(name, scale, args.output,
-                             write_json=args.json))
+                             write_json=args.json,
+                             stats_sink=stats_sink))
+    if args.stats_json is not None:
+        payload = {
+            "experiments": stats_sink,
+            "total": sweep.active_runner().stats.to_dict(),
+        }
+        args.stats_json.parent.mkdir(parents=True, exist_ok=True)
+        args.stats_json.write_text(json.dumps(payload, indent=2) + "\n")
     return 0
 
 

@@ -23,6 +23,12 @@ from repro.core.grouping import (
     independent_groups,
     paired_groups,
 )
+from repro.obs.decisions import (
+    POWERED_OFF,
+    Decision,
+    DecisionLog,
+    classify_reason,
+)
 from repro.core.policies import RatePolicy, ThresholdPolicy
 from repro.core.sensors import (
     CongestionSensor,
@@ -65,7 +71,20 @@ class ControllerConfig:
 
 
 class EpochController:
-    """Samples utilization each epoch and retunes every control group."""
+    """Samples utilization each epoch and retunes every control group.
+
+    Args:
+        network: The fabric whose channels this controller tunes.
+        policy: Rate policy; defaults to the paper's 50% threshold.
+        config: Timing parameters.
+        groups: Explicit control groups (defaults to paired or
+            independent groups per ``config``).
+        sensor: Demand sensor; defaults to raw utilization.
+        decision_log: Optional :class:`~repro.obs.decisions.DecisionLog`
+            receiving one audit record per group per epoch.
+        name: Controller label stamped on audit records (per-chip
+            deployments use names like ``"sw3"``).
+    """
 
     def __init__(
         self,
@@ -74,11 +93,15 @@ class EpochController:
         config: ControllerConfig = ControllerConfig(),
         groups: Optional[List[ChannelGroup]] = None,
         sensor: Optional[CongestionSensor] = None,
+        decision_log: Optional[DecisionLog] = None,
+        name: str = "epoch",
     ):
         self.network = network
         self.policy = policy if policy is not None else ThresholdPolicy()
         self.config = config
         self.sensor = sensor if sensor is not None else UtilizationSensor()
+        self.decision_log = decision_log
+        self.name = name
         if groups is None:
             groups = (independent_groups(network)
                       if config.independent_channels
@@ -103,6 +126,10 @@ class EpochController:
             return
         epoch_ns = self.config.effective_epoch_ns
         ladder = self.network.config.ladder
+        log = self.decision_log
+        now = self.network.sim.now
+        if log is not None:
+            log.epoch_mark(now)
         for group in self.groups:
             reading = GroupReading(
                 utilization=group.utilization_since_last(epoch_ns),
@@ -110,12 +137,38 @@ class EpochController:
                 credit_stalls=group.credit_stalls_since_last(),
             )
             if group.is_off:
+                if log is not None:
+                    log.record(Decision(
+                        time_ns=now, controller=self.name,
+                        group=group.name,
+                        channels=tuple(ch.name for ch in group.channels),
+                        old_rate=None, new_rate=None,
+                        reason=POWERED_OFF, changed=False,
+                        utilization=reading.utilization,
+                        queue_fraction=reading.queue_fraction,
+                        credit_stalls=reading.credit_stalls,
+                    ))
                 continue
             estimate = self.sensor.estimate(group, reading)
-            new_rate = self.policy.decide(
-                group, group.current_rate, estimate, ladder)
-            if group.set_rate(new_rate, self.config.reactivation_ns):
+            current = group.current_rate
+            new_rate = self.policy.decide(group, current, estimate, ladder)
+            changed = group.set_rate(new_rate, self.config.reactivation_ns)
+            if changed:
                 self.reconfigurations += 1
+            if log is not None:
+                log.record(Decision(
+                    time_ns=now, controller=self.name, group=group.name,
+                    channels=tuple(ch.name for ch in group.channels),
+                    old_rate=current, new_rate=new_rate,
+                    reason=classify_reason(current, new_rate, changed,
+                                           estimate, ladder, self.policy),
+                    changed=changed, estimate=estimate,
+                    utilization=reading.utilization,
+                    queue_fraction=reading.queue_fraction,
+                    credit_stalls=reading.credit_stalls,
+                    reactivation_ns=(self.config.reactivation_ns
+                                     if changed else 0.0),
+                ))
         self.epochs_run += 1
         self._event = self.network.sim.schedule(epoch_ns, self._on_epoch,
                                                 daemon=True)

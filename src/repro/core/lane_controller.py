@@ -26,6 +26,17 @@ from repro.core.grouping import (
     independent_groups,
     paired_groups,
 )
+from repro.obs.decisions import (
+    ABOVE_THRESHOLD,
+    BELOW_THRESHOLD,
+    CLAMPED_MAX,
+    CLAMPED_MIN,
+    HOLD,
+    POWERED_OFF,
+    REACTIVATION_PENDING,
+    Decision,
+    DecisionLog,
+)
 from repro.power.lanes import (
     INFINIBAND_LANE_LADDER,
     LaneConfig,
@@ -69,12 +80,25 @@ class LaneControllerConfig:
 
 
 class LaneAwareController:
-    """Epoch controller over (lanes, per-lane rate) operating points."""
+    """Epoch controller over (lanes, per-lane rate) operating points.
+
+    Args:
+        network: The fabric whose channels this controller tunes.
+        config: Timing, ladder and threshold parameters.
+        decision_log: Optional :class:`~repro.obs.decisions.DecisionLog`
+            receiving one audit record per group per epoch (operating
+            points are stamped into ``old_mode``/``new_mode``).
+        name: Controller label stamped on audit records.
+    """
 
     def __init__(self, network: "Fabric",
-                 config: LaneControllerConfig = LaneControllerConfig()):
+                 config: LaneControllerConfig = LaneControllerConfig(),
+                 decision_log: Optional[DecisionLog] = None,
+                 name: str = "lane"):
         self.network = network
         self.config = config
+        self.decision_log = decision_log
+        self.name = name
         self._check_ladder_compatible()
         if config.independent_channels:
             self.groups = independent_groups(network)
@@ -108,14 +132,43 @@ class LaneAwareController:
         """The lane configuration a group currently runs at."""
         return self._config_of[group]
 
+    def _classify(self, current: LaneConfig, new: LaneConfig,
+                  changed: bool, utilization: float) -> str:
+        """Reason code for one lane-ladder decision."""
+        if changed:
+            return (ABOVE_THRESHOLD if new.gbps > current.gbps
+                    or (new.gbps == current.gbps
+                        and utilization > self.config.target_utilization)
+                    else BELOW_THRESHOLD)
+        if new != current:
+            return REACTIVATION_PENDING
+        if utilization > self.config.target_utilization:
+            return CLAMPED_MAX
+        if utilization < self.config.target_utilization:
+            return CLAMPED_MIN
+        return HOLD
+
     def _on_epoch(self) -> None:
         if self._stopped:
             return
         epoch_ns = self.config.effective_epoch_ns
         ladder = self.config.ladder
+        log = self.decision_log
+        now = self.network.sim.now
+        if log is not None:
+            log.epoch_mark(now)
         for group in self.groups:
             utilization = group.utilization_since_last(epoch_ns)
             if group.is_off:
+                if log is not None:
+                    log.record(Decision(
+                        time_ns=now, controller=self.name,
+                        group=group.name,
+                        channels=tuple(ch.name for ch in group.channels),
+                        old_rate=None, new_rate=None,
+                        reason=POWERED_OFF, changed=False,
+                        utilization=utilization,
+                    ))
                 continue
             current = self._config_of[group]
             if utilization > self.config.target_utilization:
@@ -125,6 +178,18 @@ class LaneAwareController:
             else:
                 new = current
             if new == current:
+                if log is not None:
+                    log.record(Decision(
+                        time_ns=now, controller=self.name,
+                        group=group.name,
+                        channels=tuple(ch.name for ch in group.channels),
+                        old_rate=current.gbps, new_rate=current.gbps,
+                        reason=self._classify(current, new, False,
+                                              utilization),
+                        changed=False, estimate=utilization,
+                        utilization=utilization,
+                        old_mode=str(current), new_mode=str(current),
+                    ))
                 continue
             latency = self.config.reactivation.latency_ns(current, new)
             changed = False
@@ -135,6 +200,18 @@ class LaneAwareController:
                 self._config_of[group] = new
                 self.reconfigurations += 1
                 self.reconfiguration_stall_ns += latency
+            if log is not None:
+                log.record(Decision(
+                    time_ns=now, controller=self.name, group=group.name,
+                    channels=tuple(ch.name for ch in group.channels),
+                    old_rate=current.gbps, new_rate=new.gbps,
+                    reason=self._classify(current, new, changed,
+                                          utilization),
+                    changed=changed, estimate=utilization,
+                    utilization=utilization,
+                    reactivation_ns=latency if changed else 0.0,
+                    old_mode=str(current), new_mode=str(new),
+                ))
         self.epochs_run += 1
         self._event = self.network.sim.schedule(epoch_ns, self._on_epoch,
                                                 daemon=True)

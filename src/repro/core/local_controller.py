@@ -29,6 +29,7 @@ from typing import Callable, List, Optional, TYPE_CHECKING
 from repro.core.controller import ControllerConfig, EpochController
 from repro.core.grouping import ChannelGroup
 from repro.core.policies import RatePolicy, ThresholdPolicy
+from repro.obs.decisions import DecisionLog
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.fabric import Fabric
@@ -51,6 +52,7 @@ class SwitchLocalControllers:
         policy_factory: Optional[PolicyFactory] = None,
         config: ControllerConfig = ControllerConfig(
             independent_channels=True),
+        decision_log: Optional[DecisionLog] = None,
     ) -> "SwitchLocalControllers":
         """Instantiate one controller per switch chip (and host NIC).
 
@@ -60,6 +62,10 @@ class SwitchLocalControllers:
                 defaults to the paper's 50% threshold heuristic.
             config: Shared timing parameters.  ``independent_channels``
                 must be True — see the module docstring.
+            decision_log: Optional shared audit log; each chip stamps
+                its records with its own controller name (``"sw3"``,
+                ``"host5"``), so the merged log still attributes every
+                decision to the chip that made it.
         """
         if not config.independent_channels:
             raise ValueError(
@@ -76,13 +82,15 @@ class SwitchLocalControllers:
             groups = [ChannelGroup(ch.name, [ch]) for ch in channels]
             controllers.append(EpochController(
                 network, policy=policy_factory(), config=config,
-                groups=groups))
+                groups=groups, decision_log=decision_log,
+                name=f"sw{switch.id}"))
         if network.config.host_links_tunable:
             for host in network.hosts:
                 groups = [ChannelGroup(host.uplink.name, [host.uplink])]
                 controllers.append(EpochController(
                     network, policy=policy_factory(), config=config,
-                    groups=groups))
+                    groups=groups, decision_log=decision_log,
+                    name=f"host{host.id}"))
         return cls(network=network, controllers=controllers)
 
     @property

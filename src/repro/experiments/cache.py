@@ -40,7 +40,10 @@ from repro.experiments.runner import SimulationSpec, SimulationSummary
 #: meaning of a spec field, the summary layout, or the simulation's
 #: numerical behaviour changes: old entries become unreachable rather
 #: than silently wrong.
-CACHE_SCHEMA_VERSION = 1
+#:
+#: v2: summaries carry the controller decision audit
+#: (``decision_counts``, ``rate_transitions``) and ``worker_pid``.
+CACHE_SCHEMA_VERSION = 2
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -139,6 +142,9 @@ def summary_to_dict(summary: SimulationSummary) -> Dict[str, Any]:
         "time_at_rate": _encode_time_at_rate(summary.time_at_rate),
         "events_fired": summary.events_fired,
         "wall_seconds": summary.wall_seconds,
+        "decision_counts": dict(summary.decision_counts),
+        "rate_transitions": [list(row) for row in summary.rate_transitions],
+        "worker_pid": summary.worker_pid,
     }
 
 
@@ -151,15 +157,17 @@ def summary_from_dict(data: Dict[str, Any]) -> SimulationSummary:
 
 
 def summary_digest(summary: SimulationSummary) -> Dict[str, Any]:
-    """The summary's deterministic content: everything but wall time.
+    """The summary's deterministic content: everything but host facts.
 
-    ``wall_seconds`` measures the host machine, not the simulation, so
-    determinism and golden comparisons exclude it.  Everything else —
-    latencies, power fractions, counters, time-at-rate — must replay
-    bit-identically for a fixed spec.
+    ``wall_seconds`` and ``worker_pid`` measure the host machine, not
+    the simulation, so determinism and golden comparisons exclude them.
+    Everything else — latencies, power fractions, counters,
+    time-at-rate, the decision audit — must replay bit-identically for
+    a fixed spec.
     """
     digest = summary_to_dict(summary)
     del digest["wall_seconds"]
+    del digest["worker_pid"]
     return digest
 
 

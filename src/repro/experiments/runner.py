@@ -9,11 +9,13 @@ one process.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.core.controller import ControllerConfig, EpochController
+from repro.obs.decisions import DecisionLog
 from repro.core.policies import (
     AggressivePolicy,
     HysteresisPolicy,
@@ -116,10 +118,32 @@ class SimulationSummary:
     time_at_rate: Dict[Optional[float], float] = field(default_factory=dict)
     events_fired: int = 0
     wall_seconds: float = 0.0
+    #: Epoch decisions by reason code (controller audit aggregate).
+    decision_counts: Dict[str, int] = field(default_factory=dict)
+    #: Sorted ``[old_rate, new_rate, count]`` rows over initiated
+    #: reconfigurations; the counts sum to ``reconfigurations`` exactly.
+    rate_transitions: List[List] = field(default_factory=list)
+    #: PID of the process that simulated this run (0 in legacy records).
+    worker_pid: int = 0
 
 
-def run_simulation(spec: SimulationSpec) -> SimulationSummary:
-    """Execute one run described by ``spec`` and summarize it."""
+def run_simulation(spec: SimulationSpec,
+                   telemetry=None) -> SimulationSummary:
+    """Execute one run described by ``spec`` and summarize it.
+
+    Args:
+        spec: The run to simulate.
+        telemetry: Optional :class:`~repro.obs.session.Telemetry`
+            bundle; when given, its instruments (metrics probe,
+            unbounded decision log, monitors) are attached before the
+            run and its ``network`` field is set, without changing the
+            summary — observation never perturbs the simulation.
+
+    Every run carries an always-on decision audit: a counters-only
+    :class:`~repro.obs.decisions.DecisionLog` feeds the summary's
+    ``decision_counts`` and ``rate_transitions`` aggregates (whose
+    transition counts sum exactly to ``reconfigurations``).
+    """
     started = time.perf_counter()
     topology = spec.build_topology()
     net_config = NetworkConfig(seed=spec.seed)
@@ -128,6 +152,8 @@ def run_simulation(spec: SimulationSpec) -> SimulationSummary:
             seed=spec.seed, initial_rate_gbps=net_config.ladder.min_rate)
     network = FbflyNetwork(topology, net_config)
 
+    decision_log = (telemetry.decision_log if telemetry is not None
+                    else DecisionLog(max_records=0))
     controller = None
     if spec.control == CONTROL_EPOCH:
         controller = EpochController(
@@ -138,9 +164,13 @@ def run_simulation(spec: SimulationSpec) -> SimulationSummary:
                 reactivation_ns=spec.reactivation_ns,
                 independent_channels=spec.independent_channels,
             ),
+            decision_log=decision_log,
         )
     elif spec.control not in (CONTROL_NONE, CONTROL_ALWAYS_SLOWEST):
         raise ValueError(f"unknown control mode {spec.control!r}")
+
+    if telemetry is not None:
+        telemetry.attach(network)
 
     workload = spec.build_workload(
         topology.num_hosts, net_config.ladder.max_rate)
@@ -163,6 +193,9 @@ def run_simulation(spec: SimulationSpec) -> SimulationSummary:
         time_at_rate=stats.time_at_rate_fractions(),
         events_fired=network.sim.events_fired,
         wall_seconds=time.perf_counter() - started,
+        decision_counts=dict(decision_log.reason_counts),
+        rate_transitions=decision_log.transition_counts_list(),
+        worker_pid=os.getpid(),
     )
 
 

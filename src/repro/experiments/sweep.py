@@ -23,6 +23,12 @@ Per-sweep accounting follows the :mod:`repro.sim.stats` idiom: plain
 counters on a :class:`SweepStats` object (runs executed vs. memo/cache
 hits, wall clock, per-run latency), merged into the runner's lifetime
 totals and printable via :meth:`SweepStats.format_line`.
+
+When a run log is configured (``run_log=`` / ``--run-log`` /
+``$REPRO_RUN_LOG``), the runner appends one provenance-stamped JSONL
+record per distinct spec it resolves — marked ``cached: true`` when the
+summary came from the memo or disk cache — via
+:class:`repro.obs.runrecord.RunRecordWriter`.
 """
 
 from __future__ import annotations
@@ -49,6 +55,7 @@ from repro.experiments.runner import (
 #: Environment variables configuring the default runner.
 JOBS_ENV = "REPRO_JOBS"
 CACHE_ENV = "REPRO_CACHE"
+RUN_LOG_ENV = "REPRO_RUN_LOG"
 
 #: Bound on the default in-process memo (the old ``functools.lru_cache``
 #: memo was this size too, but fronted no persistent layer).
@@ -100,6 +107,20 @@ class SweepStats:
     def mean_run_seconds(self) -> float:
         """Average wall time of the runs actually executed."""
         return self.run_seconds_total / self.executed if self.executed else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """The counters as a JSON-safe dict (``--stats-json`` payload)."""
+        return {
+            "submitted": self.submitted,
+            "unique": self.unique,
+            "memo_hits": self.memo_hits,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "wall_seconds": self.wall_seconds,
+            "run_seconds_total": self.run_seconds_total,
+            "run_seconds_max": self.run_seconds_max,
+            "mean_run_seconds": self.mean_run_seconds,
+        }
 
     def merge(self, other: "SweepStats") -> None:
         """Fold another stats object's counters into this one."""
@@ -161,12 +182,16 @@ class SweepRunner:
         cache: An explicit :class:`SweepCache` (overrides ``cache_dir``).
         cache_dir: Directory for a fresh cache when ``cache`` is absent.
         memo_size: Bound of the in-process LRU memo.
+        run_log: Optional JSONL path; one provenance-stamped record is
+            appended per distinct spec resolved (cache hits included,
+            marked ``cached: true``).
     """
 
     def __init__(self, jobs: Optional[int] = None, use_cache: bool = True,
                  cache: Optional[SweepCache] = None,
                  cache_dir: Optional[Path] = None,
-                 memo_size: int = DEFAULT_MEMO_SIZE):
+                 memo_size: int = DEFAULT_MEMO_SIZE,
+                 run_log: Optional[Path] = None):
         self.jobs = (os.cpu_count() or 1) if jobs is None else int(jobs)
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -179,6 +204,20 @@ class SweepRunner:
         self.memo = LRUCache(memo_size)
         self.stats = SweepStats()
         self.last_stats = SweepStats()
+        self.run_log = Path(run_log) if run_log is not None else None
+        self._run_recorder = None
+
+    def _recorder(self):
+        """The lazily-built run-record writer, or ``None`` when no run
+        log is configured."""
+        if self.run_log is None:
+            return None
+        if self._run_recorder is None:
+            # Local import: repro.obs.runrecord imports this package's
+            # cache module, so importing it at module scope would cycle.
+            from repro.obs.runrecord import RunRecordWriter
+            self._run_recorder = RunRecordWriter(self.run_log)
+        return self._run_recorder
 
     # -- lookups -------------------------------------------------------
 
@@ -235,10 +274,17 @@ class SweepRunner:
             else:
                 misses.append(spec)
 
+        simulated = set(misses)
         for spec, summary in zip(misses, self._execute_batch(misses)):
             batch.record_run(summary.wall_seconds)
             self._store(spec, summary)
             results[spec] = summary
+
+        recorder = self._recorder()
+        if recorder is not None:
+            for spec in ordered:
+                recorder.record_run(spec, results[spec],
+                                    cached=spec not in simulated)
 
         batch.wall_seconds = time.perf_counter() - started
         self.stats.merge(batch)
@@ -286,6 +332,12 @@ def _env_default_use_cache() -> bool:
     return os.environ.get(CACHE_ENV, "0").lower() in ("1", "true", "yes", "on")
 
 
+def _env_default_run_log() -> Optional[Path]:
+    """``REPRO_RUN_LOG`` as a path, or ``None`` when unset/empty."""
+    raw = os.environ.get(RUN_LOG_ENV)
+    return Path(raw) if raw else None
+
+
 def default_runner() -> SweepRunner:
     """The lazily-created process-wide runner (env-configured)."""
     global _default_runner
@@ -293,17 +345,20 @@ def default_runner() -> SweepRunner:
         _default_runner = SweepRunner(
             jobs=_env_default_jobs(),
             use_cache=_env_default_use_cache(),
+            run_log=_env_default_run_log(),
         )
     return _default_runner
 
 
 def configure(jobs: Optional[int] = None, use_cache: bool = True,
               cache_dir: Optional[Path] = None,
-              memo_size: int = DEFAULT_MEMO_SIZE) -> SweepRunner:
+              memo_size: int = DEFAULT_MEMO_SIZE,
+              run_log: Optional[Path] = None) -> SweepRunner:
     """Replace the default runner (the CLI flag hook); returns it."""
     global _default_runner
     _default_runner = SweepRunner(jobs=jobs, use_cache=use_cache,
-                                  cache_dir=cache_dir, memo_size=memo_size)
+                                  cache_dir=cache_dir, memo_size=memo_size,
+                                  run_log=run_log)
     return _default_runner
 
 

@@ -1,0 +1,238 @@
+"""Controller decision audit log.
+
+Figures 7-9 are *consequences* of epoch-controller decisions; this
+module records the decisions themselves.  Every epoch, for every
+control group, the controller reports what it saw (the sensor reading),
+what it did (old rate -> new rate) and *why* (a reason code), into a
+:class:`DecisionLog`:
+
+- a **bounded ring buffer** of full :class:`Decision` records (the
+  ``PacketTracer`` idiom: attachable, bounded, queryable),
+- an optional **JSONL spill** writing every record to disk as it is
+  made — full fidelity even when the ring has wrapped,
+- always-on **aggregate counters**: decisions by reason and rate
+  transitions by ``(old, new)`` pair.  The aggregates are exact however
+  small the ring is, which is what lets
+  :func:`repro.experiments.runner.run_simulation` audit every run at
+  near-zero cost (``max_records=0``) and still prove, in the run
+  record, that the log accounts for every reconfiguration counted in
+  the final stats.
+
+Reason codes:
+
+- ``above_threshold`` / ``below_threshold`` — the policy moved the rate
+  up / down and the group reconfigured.
+- ``reactivation_pending`` — the policy asked for a rate the group is
+  already re-locking toward, so no new reconfiguration was initiated
+  (the reactivation-penalty hold).
+- ``clamped_max`` / ``clamped_min`` — demand pushed past the ladder
+  edge the group already sits at.
+- ``hold`` — the policy kept the current rate (on-target, or inside a
+  hysteresis band).
+- ``powered_off`` — the group was skipped because a member channel is
+  powered down (dynamic topologies, §5.1).
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Tuple
+
+#: Reason codes (see module docstring).
+ABOVE_THRESHOLD = "above_threshold"
+BELOW_THRESHOLD = "below_threshold"
+REACTIVATION_PENDING = "reactivation_pending"
+CLAMPED_MAX = "clamped_max"
+CLAMPED_MIN = "clamped_min"
+HOLD = "hold"
+POWERED_OFF = "powered_off"
+
+#: Every legal reason code.
+REASONS = (ABOVE_THRESHOLD, BELOW_THRESHOLD, REACTIVATION_PENDING,
+           CLAMPED_MAX, CLAMPED_MIN, HOLD, POWERED_OFF)
+
+
+def classify_reason(old_rate: float, new_rate: float, changed: bool,
+                    estimate: float, ladder, policy=None) -> str:
+    """The reason code for one epoch decision.
+
+    Args:
+        old_rate: Rate the group ran the epoch at.
+        new_rate: Rate the policy returned for the next epoch.
+        changed: Whether the group actually initiated a reconfiguration.
+        estimate: The sensor's demand estimate the policy saw.
+        ladder: The legal :class:`~repro.power.link_rates.RateLadder`.
+        policy: The deciding policy; its ``target_utilization`` (or
+            hysteresis ``low``/``high``) attributes, when present,
+            distinguish a clamped decision from a deliberate hold.
+    """
+    if changed:
+        return ABOVE_THRESHOLD if new_rate > old_rate else BELOW_THRESHOLD
+    if new_rate != old_rate:
+        return REACTIVATION_PENDING
+    target = getattr(policy, "target_utilization", None)
+    high = getattr(policy, "high", target)
+    low = getattr(policy, "low", target)
+    if high is not None and estimate > high and old_rate == ladder.max_rate:
+        return CLAMPED_MAX
+    if low is not None and estimate < low and old_rate == ladder.min_rate:
+        return CLAMPED_MIN
+    return HOLD
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One epoch decision for one control group.
+
+    Attributes:
+        time_ns: Simulation time of the decision.
+        controller: Label of the deciding controller (``"epoch"``,
+            ``"lane"``, or a per-chip name like ``"sw3"``).
+        group: Control-group name (channel or link-pair identifier).
+        channels: Names of the member channels.
+        old_rate: Rate (Gb/s) the group ran the epoch at.
+        new_rate: Rate (Gb/s) decided for the next epoch.
+        reason: One of :data:`REASONS`.
+        changed: Whether a reconfiguration was actually initiated.
+        estimate: The sensor's demand estimate the policy thresholded.
+        utilization: Raw busy fraction over the epoch.
+        queue_fraction: Worst member output-queue occupancy at epoch end.
+        credit_stalls: Credit-blocked transmission attempts in the epoch.
+        reactivation_ns: Stall the transition costs (0 when unchanged).
+        old_mode: Optional richer operating-point label (lane ladders).
+        new_mode: Optional richer operating-point label (lane ladders).
+    """
+
+    time_ns: float
+    controller: str
+    group: str
+    channels: Tuple[str, ...]
+    old_rate: Optional[float]
+    new_rate: Optional[float]
+    reason: str
+    changed: bool
+    estimate: float = 0.0
+    utilization: float = 0.0
+    queue_fraction: float = 0.0
+    credit_stalls: int = 0
+    reactivation_ns: float = 0.0
+    old_mode: Optional[str] = None
+    new_mode: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """The decision as a JSON-safe dict (channels as a list)."""
+        out = asdict(self)
+        out["channels"] = list(self.channels)
+        return out
+
+
+class DecisionLog:
+    """Bounded ring buffer of decisions with exact aggregate counters.
+
+    Args:
+        max_records: Ring-buffer bound.  ``None`` retains everything
+            (trace export), ``0`` keeps counters only (the run
+            harness's always-on audit).
+        spill_path: Optional JSONL file; every record (and epoch mark)
+            is appended as it happens, unaffected by the ring bound.
+    """
+
+    def __init__(self, max_records: Optional[int] = 100_000,
+                 spill_path: Optional[Path] = None):
+        if max_records is not None and max_records < 0:
+            raise ValueError(
+                f"max_records must be >= 0 or None, got {max_records}")
+        self.max_records = max_records
+        self.records: Deque[Decision] = collections.deque(
+            maxlen=max_records)
+        #: Epoch-boundary times (same retention bound as the ring).
+        self.epochs: Deque[float] = collections.deque(maxlen=max_records)
+        self.reason_counts: Dict[str, int] = {}
+        #: ``(old_rate, new_rate) -> count`` over *initiated* transitions.
+        self.transition_counts: Dict[Tuple[float, float], int] = {}
+        self.decisions_recorded = 0
+        self._spill_path = Path(spill_path) if spill_path else None
+        self._spill_file = None
+        if self._spill_path is not None:
+            self._spill_path.parent.mkdir(parents=True, exist_ok=True)
+            self._spill_file = open(self._spill_path, "a",
+                                    encoding="utf-8")
+
+    # -- recording (called by the controllers) --------------------------
+
+    def record(self, decision: Decision) -> None:
+        """Append one decision; updates counters and the spill file."""
+        self.decisions_recorded += 1
+        self.records.append(decision)
+        self.reason_counts[decision.reason] = (
+            self.reason_counts.get(decision.reason, 0) + 1)
+        if decision.changed:
+            key = (decision.old_rate, decision.new_rate)
+            self.transition_counts[key] = (
+                self.transition_counts.get(key, 0) + 1)
+        if self._spill_file is not None:
+            self._spill_file.write(
+                json.dumps(decision.to_dict(), sort_keys=True) + "\n")
+
+    def epoch_mark(self, time_ns: float) -> None:
+        """Record one controller epoch boundary."""
+        self.epochs.append(time_ns)
+        if self._spill_file is not None:
+            self._spill_file.write(
+                json.dumps({"epoch_ns": time_ns}, sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        """Flush and close the spill file (idempotent)."""
+        if self._spill_file is not None:
+            self._spill_file.close()
+            self._spill_file = None
+
+    def __enter__(self) -> "DecisionLog":
+        """Context-manager entry; returns the log itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: close the spill file."""
+        self.close()
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def transitions_recorded(self) -> int:
+        """Total reconfigurations initiated — exact however small the
+        ring is, and equal to the controllers' ``reconfigurations``."""
+        return sum(self.transition_counts.values())
+
+    def transitions(self) -> List[Decision]:
+        """Retained records that initiated a reconfiguration."""
+        return [d for d in self.records if d.changed]
+
+    def of_group(self, group: str) -> List[Decision]:
+        """Retained records of one control group, in time order."""
+        return [d for d in self.records if d.group == group]
+
+    def transition_counts_list(self) -> List[List[object]]:
+        """Transition counts as sorted ``[old, new, count]`` rows.
+
+        JSON-safe and deterministically ordered, so it can live inside
+        a cached :class:`~repro.experiments.runner.SimulationSummary`
+        and replay bit-identically.
+        """
+        return [[old, new, count] for (old, new), count in
+                sorted(self.transition_counts.items())]
+
+    def format_line(self) -> str:
+        """One printable line: decisions, transitions, reason mix."""
+        reasons = ", ".join(f"{reason}={self.reason_counts[reason]}"
+                            for reason in REASONS
+                            if reason in self.reason_counts)
+        return (f"{self.decisions_recorded} decisions, "
+                f"{self.transitions_recorded} transitions"
+                + (f" ({reasons})" if reasons else ""))
+
+    def __len__(self) -> int:
+        """Number of retained (not total) records."""
+        return len(self.records)

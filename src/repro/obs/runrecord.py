@@ -1,0 +1,171 @@
+"""Provenance-stamped run records: one JSONL line per simulation.
+
+A figure is only as trustworthy as the runs behind it.  When the sweep
+harness is given a run log (``--run-log PATH``, ``$REPRO_RUN_LOG`` or
+``SweepRunner(run_log=...)``), it appends one self-contained JSON
+record per distinct :class:`~repro.experiments.runner.SimulationSpec`
+it resolves — whether the result was simulated fresh or served from
+the cache — so any reported number can be traced back to the exact
+spec, code revision and cache state that produced it.
+
+Each record carries:
+
+- ``record_schema`` / ``cache_schema`` — both versioned; the cache
+  schema is :data:`~repro.experiments.cache.CACHE_SCHEMA_VERSION`.
+- ``spec`` and ``spec_json`` — the spec as a dict and as the canonical
+  JSON string the cache key hashes.
+- ``cache_key`` — the content hash identifying the run in the cache.
+- ``cached`` — **true when the summary came from the memo or disk
+  cache** rather than a fresh simulation; downstream tooling must
+  never mistake a cache hit for a live run.
+- ``worker_pid`` / ``wall_seconds`` — which process simulated it (the
+  *original* producer for cached results) and how long it took.
+- ``metrics`` — the deterministic final-metrics snapshot
+  (:func:`~repro.experiments.cache.summary_digest` minus the spec).
+- ``decisions`` — the controller audit: decision counts by reason and
+  rate-transition counts whose total equals the summary's
+  ``reconfigurations`` exactly.
+- ``provenance`` — git SHA, python/platform, the writer's pid and
+  every ``REPRO_*`` environment knob in effect.
+
+Read a log back with :func:`read_run_log`; the CLI's
+``repro obs summarize`` and ``repro obs diff`` are built on it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.experiments.cache import (
+    CACHE_SCHEMA_VERSION,
+    canonical_spec_json,
+    spec_key,
+    spec_to_dict,
+    summary_digest,
+)
+from repro.experiments.runner import SimulationSpec, SimulationSummary
+
+#: Version stamp of the run-record layout, bumped alongside any field
+#: change so downstream tooling can dispatch on it.
+RUN_RECORD_SCHEMA_VERSION = 1
+
+#: Environment variable naming a default run-log path.
+RUN_LOG_ENV = "REPRO_RUN_LOG"
+
+
+def git_sha() -> Optional[str]:
+    """The repository HEAD SHA, or ``None`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    sha = out.stdout.strip()
+    return sha or None
+
+
+def collect_provenance() -> Dict[str, Any]:
+    """Everything identifying *who produced* a record.
+
+    Captured once per writer (git state and the environment do not
+    change mid-process) and embedded into every record so each line is
+    self-contained.
+    """
+    return {
+        "git_sha": git_sha(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "writer_pid": os.getpid(),
+        "env": {key: value for key, value in sorted(os.environ.items())
+                if key.startswith("REPRO_")},
+    }
+
+
+class RunRecordWriter:
+    """Appends provenance-stamped run records to a JSONL file.
+
+    Args:
+        path: Log file; created (with parents) on first write and
+            always appended to, so many sweeps can share one log.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.provenance = collect_provenance()
+        self.records_written = 0
+
+    def record_run(self, spec: SimulationSpec, summary: SimulationSummary,
+                   cached: bool) -> Dict[str, Any]:
+        """Append one record; returns the dict that was written."""
+        metrics = summary_digest(summary)
+        metrics.pop("spec", None)
+        record = {
+            "record_schema": RUN_RECORD_SCHEMA_VERSION,
+            "cache_schema": CACHE_SCHEMA_VERSION,
+            "spec": spec_to_dict(spec),
+            "spec_json": canonical_spec_json(spec),
+            "cache_key": spec_key(spec),
+            "cached": bool(cached),
+            "worker_pid": summary.worker_pid,
+            "wall_seconds": summary.wall_seconds,
+            "metrics": metrics,
+            "decisions": {
+                "counts": dict(summary.decision_counts),
+                "rate_transitions": [list(row) for row
+                                     in summary.rate_transitions],
+            },
+            "provenance": self.provenance,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self.records_written += 1
+        return record
+
+
+def read_run_log(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a run-record JSONL file into a list of record dicts.
+
+    Blank lines are skipped; a torn/corrupt line raises ``ValueError``
+    naming its line number rather than silently dropping data.
+    """
+    records: List[Dict[str, Any]] = []
+    text = Path(path).read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            raise ValueError(
+                f"{path}:{lineno}: corrupt run record: {exc}") from None
+        if not isinstance(record, dict):
+            raise ValueError(
+                f"{path}:{lineno}: run record is not an object")
+        records.append(record)
+    return records
+
+
+def transitions_accounted(record: Dict[str, Any]) -> bool:
+    """Does a record's decision log account for every transition?
+
+    True when the rate-transition counts sum exactly to the
+    ``reconfigurations`` counted in the final metrics — the invariant
+    the acceptance tests (and ``repro obs summarize``) check.
+    """
+    decisions = record.get("decisions", {})
+    total = sum(int(row[2]) for row
+                in decisions.get("rate_transitions", []))
+    return total == int(record.get("metrics", {})
+                        .get("reconfigurations", 0))

@@ -105,6 +105,10 @@ class Channel:
         #: when output-queue space frees up.
         self.src: Optional["Node"] = None
 
+        #: Optional :class:`repro.obs.instrument.FabricProbe`; hook sites
+        #: cost one ``is None`` check each when no probe is attached.
+        self.probe = None
+
         self.stats = ChannelStats(name=name, initial_rate=self._rate,
                                   start_time=sim.now, medium=medium)
 
@@ -180,6 +184,8 @@ class Channel:
             raise RuntimeError(f"channel {self.name} is powered off")
         self._queue.append(packet)
         self._queue_bytes += packet.size_bytes
+        if self.probe is not None:
+            self.probe.on_enqueue(self)
         self._try_send()
 
     # ------------------------------------------------------------------
@@ -230,6 +236,8 @@ class Channel:
         """
         if not self.drained:
             raise RuntimeError(f"cannot power off {self.name} with traffic queued")
+        if self.probe is not None:
+            self.probe.on_rate_change(self, self._rate, None)
         self.stats.account_rate_change(self.sim.now, None)
         self.state = ChannelState.OFF
         self.draining = False
@@ -244,6 +252,8 @@ class Channel:
             if float(rate_gbps) not in self.ladder:
                 raise ValueError(f"rate {rate_gbps} not on ladder")
             self._rate = float(rate_gbps)
+        if self.probe is not None:
+            self.probe.on_rate_change(self, None, self._rate)
         self.stats.account_rate_change(self.sim.now, self._rate)
         self.state = ChannelState.REACTIVATING
         self.draining = False
@@ -312,6 +322,8 @@ class Channel:
         self._pending_rate = None
         self._pending_mode = None
         self._pending_reactivation_ns = 0.0
+        if self.probe is not None:
+            self.probe.on_rate_change(self, self._rate, new_rate)
         # Power is accounted at the new rate from the start of the stall:
         # the SerDes is already locked to the new configuration envelope.
         self.stats.account_rate_change(

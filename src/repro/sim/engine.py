@@ -56,6 +56,10 @@ class Simulator:
         self._seq = 0
         self._events_fired = 0
         self._live_events = 0   # pending non-daemon, non-cancelled events
+        #: Optional observer exposing ``on_event_fired(event)`` (e.g. a
+        #: :class:`repro.obs.instrument.FabricProbe`); the hook costs a
+        #: single ``is None`` check per event when unset.
+        self.observer = None
 
     @property
     def now(self) -> float:
@@ -108,6 +112,8 @@ class Simulator:
         self._events_fired += 1
         if not event.daemon:
             self._live_events -= 1
+        if self.observer is not None:
+            self.observer.on_event_fired(event)
         event.fn(*event.args)
 
     def step(self) -> bool:

@@ -65,11 +65,28 @@ class Fabric:
         #: Optional :class:`~repro.sim.tracing.PacketTracer`; hooks in
         #: hosts and switches record through it when set.
         self.tracer = None
+        #: Optional :class:`~repro.obs.instrument.FabricProbe`; hooks in
+        #: switches and hosts record through it when set.
+        self.probe = None
         self._build_channels()
 
     def attach_tracer(self, tracer) -> None:
         """Record per-packet path observations through ``tracer``."""
         self.tracer = tracer
+
+    def attach_metrics(self, registry) -> "object":
+        """Instrument this fabric's hot paths into ``registry``.
+
+        Builds a :class:`~repro.obs.instrument.FabricProbe` over the
+        given :class:`~repro.obs.metrics.MetricsRegistry`, wires it into
+        the engine, every channel, the switches and the hosts, and
+        returns it.  End-of-run gauges are stamped by :meth:`run`.
+        """
+        from repro.obs.instrument import FabricProbe
+
+        probe = FabricProbe(registry)
+        probe.attach(self)
+        return probe
 
     # ------------------------------------------------------------------
     # Construction
@@ -200,6 +217,8 @@ class Fabric:
         """Run the simulation and return finalized statistics."""
         self.sim.run(until_ns)
         self.stats.finalize(self.sim.now)
+        if self.probe is not None:
+            self.probe.finalize(self)
         return self.stats
 
     def __repr__(self) -> str:

@@ -106,12 +106,17 @@ class Host:
             tracer.record(self.sim.now, DELIVERY, self.id, packet)
         stats = self.network.stats
         stats.record_packet_delivery(packet.latency_ns, packet.size_bytes)
+        probe = self.network.probe
+        if probe is not None:
+            probe.on_packet_delivered(packet.latency_ns)
         message = packet.message
         message.packets_delivered += 1
         if message.complete:
             message.deliver_time = self.sim.now
             self.messages_received += 1
             stats.record_message_delivery(message.latency_ns)
+            if probe is not None:
+                probe.on_message_delivered(message.latency_ns)
 
     def __repr__(self) -> str:
         return f"Host(#{self.id}, pending={len(self._pending)})"

@@ -8,6 +8,11 @@ a drained simulation alive) and retain compact series:
 - :class:`PowerMonitor` — instantaneous network power under a channel
   power model, relative to the full-rate baseline.
 - :class:`CongestionMonitor` — total queued bytes and blocked packets.
+
+Monitors only see networks that actually execute.  A sweep result
+served from the persistent run cache never simulates, so a monitor
+attached to such a fabric would silently hold zero samples; querying
+one now raises a clear error instead (see :func:`_require_observed`).
 """
 
 from __future__ import annotations
@@ -19,6 +24,26 @@ from repro.power.channel_models import ChannelPowerModel, IdealChannelPower
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.channel import Channel
     from repro.sim.fabric import Fabric
+
+
+def _require_observed(monitor) -> None:
+    """Fail loudly when a monitor observed no simulation at all.
+
+    Raises RuntimeError when the monitor has zero samples *and* its
+    fabric never fired a single event — the signature of querying a
+    monitor whose run was served from the sweep cache (or never
+    started) rather than simulated live.  A short run that legitimately
+    finished before the first sampling period still has events fired
+    and passes through.
+    """
+    if not monitor.samples and monitor.network.sim.events_fired == 0:
+        raise RuntimeError(
+            f"{type(monitor).__name__} has no samples and its network "
+            "never ran. If this run came from the sweep cache, the "
+            "simulation was skipped entirely — re-run with caching "
+            "disabled (SweepRunner(cache=None) or --no-cache) or use "
+            "run_simulation(spec, telemetry=...) to observe a live run."
+        )
 
 
 class PowerMonitor:
@@ -72,10 +97,12 @@ class PowerMonitor:
 
     def peak(self) -> float:
         """Highest sampled power fraction (0.0 with no samples)."""
+        _require_observed(self)
         return max(self.power_fractions, default=0.0)
 
     def trough(self) -> float:
         """Lowest sampled power fraction (0.0 with no samples)."""
+        _require_observed(self)
         return min(self.power_fractions, default=0.0)
 
 
@@ -99,8 +126,10 @@ class CongestionMonitor:
 
     def peak_queued_bytes(self) -> int:
         """Largest sampled total queue occupancy."""
+        _require_observed(self)
         return max((q for _, q, _ in self.samples), default=0)
 
     def peak_blocked_packets(self) -> int:
         """Largest sampled blocked-packet count."""
+        _require_observed(self)
         return max((b for _, _, b in self.samples), default=0)

@@ -138,6 +138,9 @@ class Switch:
         if chosen is not None:
             self._dispatch(packet, chosen, in_channel)
             return
+        probe = self.network.probe
+        if probe is not None:
+            probe.on_packet_blocked()
         entry = _BlockedPacket(packet, in_channel, candidates, self.sim.now)
         self._blocked.append(entry)
         if self.escape_timeout_ns is not None:
@@ -164,6 +167,9 @@ class Switch:
         out.enqueue(packet, force=force)
         in_channel.release_credits(packet.size_bytes)
         self.packets_routed += 1
+        probe = self.network.probe
+        if probe is not None:
+            probe.on_packet_forwarded()
 
     def _retry_blocked(self, freed: Channel) -> None:
         still_blocked: List[_BlockedPacket] = []
@@ -199,6 +205,9 @@ class Switch:
         chosen = min(live, key=lambda c: c.queue_bytes)
         self._dispatch(entry.packet, chosen, entry.in_channel, force=True)
         self.network.stats.escapes += 1
+        probe = self.network.probe
+        if probe is not None:
+            probe.on_packet_escaped()
 
     @property
     def blocked_packets(self) -> int:

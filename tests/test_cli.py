@@ -134,3 +134,93 @@ class TestExecution:
                      "--cache-dir", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         assert "0 run" in out and "2 cache-hit" in out
+
+
+class TestObsFlags:
+    def test_run_log_and_stats_json_default_off(self):
+        args = build_parser().parse_args(["figure7"])
+        assert args.run_log is None
+        assert args.stats_json is None
+
+    def test_run_log_and_stats_json_parse(self, tmp_path):
+        args = build_parser().parse_args(
+            ["figure7", "--run-log", str(tmp_path / "runs.jsonl"),
+             "--stats-json", str(tmp_path / "stats.json")])
+        assert args.run_log == tmp_path / "runs.jsonl"
+        assert args.stats_json == tmp_path / "stats.json"
+
+    def test_run_log_records_audit_clean(self, tmp_path, capsys):
+        from repro.obs.runrecord import read_run_log, transitions_accounted
+
+        log = tmp_path / "runs.jsonl"
+        assert main(["figure7", "--jobs", "1",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--run-log", str(log)]) == 0
+        capsys.readouterr()
+        records = read_run_log(log)
+        assert len(records) == 2          # figure7: baseline + controlled
+        assert all(record["cached"] is False for record in records)
+        # The acceptance invariant: the decision log reconstructs every
+        # rate transition the summary counted.
+        assert all(transitions_accounted(record) for record in records)
+
+        # Warm re-run: appended records are honest about the cache.
+        assert main(["figure7", "--jobs", "1",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--run-log", str(log)]) == 0
+        capsys.readouterr()
+        records = read_run_log(log)
+        assert len(records) == 4
+        assert all(record["cached"] is True for record in records[2:])
+
+    def test_stats_json_written(self, tmp_path, capsys):
+        import json
+        out = tmp_path / "stats.json"
+        assert main(["table2", "--stats-json", str(out)]) == 0
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+        assert payload["experiments"][0]["experiment"] == "table2"
+        assert "total" in payload
+
+
+class TestObsCli:
+    def _write_log(self, tmp_path):
+        log = tmp_path / "runs.jsonl"
+        assert main(["figure7", "--jobs", "1",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--run-log", str(log)]) == 0
+        return log
+
+    def test_obs_summarize(self, tmp_path, capsys):
+        log = self._write_log(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "summarize", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "2 record" in out
+        assert "every reconfiguration accounted for" in out
+
+    def test_obs_summarize_missing_log_fails(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["obs", "summarize"])
+        assert main(["obs", "summarize",
+                     str(tmp_path / "empty.jsonl")]) != 0
+
+    def test_obs_diff_identical_logs(self, tmp_path, capsys):
+        log = self._write_log(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "diff", str(log), str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "identical metrics" in out
+
+    def test_obs_export_trace(self, tmp_path, capsys):
+        import json
+        from repro.obs.trace_export import validate_trace
+
+        out_path = tmp_path / "trace.json"
+        assert main(["obs", "export-trace", "--out", str(out_path),
+                     "--k", "2", "--n", "2",
+                     "--duration-ns", "100000"]) == 0
+        capsys.readouterr()
+        payload = json.loads(out_path.read_text())
+        assert validate_trace(payload) == []
+        assert payload["otherData"]["transitions"] > 0

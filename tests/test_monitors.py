@@ -81,3 +81,33 @@ class TestCongestionMonitor:
     def test_validation(self):
         with pytest.raises(ValueError):
             CongestionMonitor(make_network(), period_ns=-1.0)
+
+
+class TestUnobservedGuard:
+    """Monitors refuse to answer for a run that never happened (S2)."""
+
+    def test_power_monitor_raises_on_never_run_network(self):
+        net = make_network()
+        monitor = PowerMonitor(net, period_ns=10.0 * US)
+        with pytest.raises(RuntimeError, match="never ran"):
+            monitor.peak()
+        with pytest.raises(RuntimeError, match="cach"):
+            monitor.trough()
+
+    def test_congestion_monitor_raises_on_never_run_network(self):
+        net = make_network()
+        monitor = CongestionMonitor(net, period_ns=10.0 * US)
+        with pytest.raises(RuntimeError, match="never ran"):
+            monitor.peak_queued_bytes()
+        with pytest.raises(RuntimeError):
+            monitor.peak_blocked_packets()
+
+    def test_short_run_without_samples_still_answers(self):
+        # A live run shorter than one sampling period has no samples
+        # but did fire events; that is legitimate, not a cache hit.
+        net = make_network()
+        monitor = CongestionMonitor(net, period_ns=1.0 * MS)
+        net.submit(0.0, 0, 7, 2_000)
+        net.run(until_ns=50.0 * US)
+        assert net.sim.events_fired > 0
+        assert monitor.peak_queued_bytes() == 0

@@ -1,0 +1,222 @@
+"""The controller decision audit log."""
+
+import json
+
+import pytest
+
+from repro.core.controller import ControllerConfig, EpochController
+from repro.core.lane_controller import LaneAwareController, LaneControllerConfig
+from repro.core.local_controller import SwitchLocalControllers
+from repro.obs.decisions import (
+    ABOVE_THRESHOLD,
+    BELOW_THRESHOLD,
+    CLAMPED_MAX,
+    CLAMPED_MIN,
+    HOLD,
+    POWERED_OFF,
+    REACTIVATION_PENDING,
+    REASONS,
+    Decision,
+    DecisionLog,
+    classify_reason,
+)
+from repro.power.link_rates import DEFAULT_RATE_LADDER
+from repro.sim.network import FbflyNetwork, NetworkConfig
+from repro.topology.flattened_butterfly import FlattenedButterfly
+from repro.units import MS
+from repro.workloads.uniform import UniformRandomWorkload
+
+
+def make_network(seed=19):
+    return FbflyNetwork(FlattenedButterfly(k=2, n=3),
+                        NetworkConfig(seed=seed))
+
+
+class _Policy:
+    target_utilization = 0.5
+
+
+class TestClassifyReason:
+    LADDER = DEFAULT_RATE_LADDER
+
+    def test_speedup_is_above_threshold(self):
+        assert classify_reason(10.0, 20.0, True, 0.9,
+                               self.LADDER, _Policy()) == ABOVE_THRESHOLD
+
+    def test_slowdown_is_below_threshold(self):
+        assert classify_reason(20.0, 10.0, True, 0.1,
+                               self.LADDER, _Policy()) == BELOW_THRESHOLD
+
+    def test_unchanged_busy_change_is_reactivation_pending(self):
+        # decide() asked for a different rate but set_rate was refused
+        # (mid-reactivation): changed=False with new != current.
+        assert classify_reason(10.0, 20.0, False, 0.9,
+                               self.LADDER, _Policy()) == REACTIVATION_PENDING
+
+    def test_hold_at_top_of_ladder_is_clamped_max(self):
+        top = self.LADDER.max_rate
+        assert classify_reason(top, top, False, 0.99,
+                               self.LADDER, _Policy()) == CLAMPED_MAX
+
+    def test_hold_at_bottom_of_ladder_is_clamped_min(self):
+        bottom = self.LADDER.min_rate
+        assert classify_reason(bottom, bottom, False, 0.0,
+                               self.LADDER, _Policy()) == CLAMPED_MIN
+
+    def test_mid_ladder_hold(self):
+        assert classify_reason(10.0, 10.0, False, 0.5,
+                               self.LADDER, _Policy()) == HOLD
+
+    def test_all_reasons_enumerated(self):
+        assert set(REASONS) >= {ABOVE_THRESHOLD, BELOW_THRESHOLD,
+                                REACTIVATION_PENDING, CLAMPED_MAX,
+                                CLAMPED_MIN, HOLD, POWERED_OFF}
+
+
+def _decision(i, reason=HOLD, old=10.0, new=10.0, changed=False):
+    return Decision(time_ns=float(i), controller="epoch", group=f"g{i}",
+                    channels=(f"c{i}",), old_rate=old, new_rate=new,
+                    reason=reason, changed=changed)
+
+
+class TestDecisionLog:
+    def test_counters_and_ring(self):
+        log = DecisionLog(max_records=2)
+        log.record(_decision(0))
+        log.record(_decision(1, reason=ABOVE_THRESHOLD, old=10.0,
+                             new=20.0, changed=True))
+        log.record(_decision(2))
+        # Ring keeps only the newest two, counters stay exact.
+        assert len(log) == 2
+        assert log.decisions_recorded == 3
+        assert log.reason_counts[HOLD] == 2
+        assert log.reason_counts[ABOVE_THRESHOLD] == 1
+        assert log.transitions_recorded == 1
+        assert log.transition_counts_list() == [[10.0, 20.0, 1]]
+
+    def test_counters_only_mode_keeps_no_records(self):
+        log = DecisionLog(max_records=0)
+        log.record(_decision(0, reason=BELOW_THRESHOLD, old=20.0,
+                             new=10.0, changed=True))
+        assert len(log) == 0
+        assert log.decisions_recorded == 1
+        assert log.transitions_recorded == 1
+
+    def test_transitions_and_group_filters(self):
+        log = DecisionLog()
+        log.record(_decision(0))
+        log.record(_decision(1, reason=BELOW_THRESHOLD, old=20.0,
+                             new=10.0, changed=True))
+        assert [d.group for d in log.transitions()] == ["g1"]
+        assert [d.group for d in log.of_group("g0")] == ["g0"]
+
+    def test_spill_writes_jsonl(self, tmp_path):
+        path = tmp_path / "decisions.jsonl"
+        with DecisionLog(max_records=1, spill_path=path) as log:
+            log.epoch_mark(0.0)
+            log.record(_decision(0))
+            log.record(_decision(1))
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        # Spill keeps everything even though the ring holds one record:
+        # the epoch mark plus both decisions.
+        assert len(lines) == 3
+        assert lines[0] == {"epoch_ns": 0.0}
+        assert lines[1]["group"] == "g0"
+        assert lines[2]["reason"] == HOLD
+
+    def test_format_line_mentions_counts(self):
+        log = DecisionLog()
+        log.record(_decision(0))
+        line = log.format_line()
+        assert "1 decision" in line
+        assert HOLD in line
+
+    def test_decision_to_dict_round_trips_json(self):
+        d = _decision(3, reason=ABOVE_THRESHOLD, old=10.0, new=20.0,
+                      changed=True)
+        payload = json.loads(json.dumps(d.to_dict()))
+        assert payload["reason"] == ABOVE_THRESHOLD
+        assert payload["old_rate"] == 10.0
+        assert payload["new_rate"] == 20.0
+
+
+class TestEpochControllerAudit:
+    def _run(self, independent=False, until=0.5 * MS):
+        net = make_network()
+        log = DecisionLog()
+        controller = EpochController(
+            net,
+            config=ControllerConfig(independent_channels=independent),
+            decision_log=log)
+        net.attach_workload(
+            UniformRandomWorkload(net.topology.num_hosts,
+                                  seed=3).events(until))
+        net.run(until_ns=until)
+        return net, controller, log
+
+    def test_every_rate_change_is_audited(self):
+        _, controller, log = self._run()
+        assert controller.reconfigurations > 0
+        assert log.transitions_recorded == controller.reconfigurations
+        assert sum(count for _, _, count
+                   in log.transition_counts_list()) \
+            == controller.reconfigurations
+
+    def test_independent_channels_audited_too(self):
+        _, controller, log = self._run(independent=True)
+        assert log.transitions_recorded == controller.reconfigurations
+
+    def test_epochs_are_marked(self):
+        net, _, log = self._run()
+        assert len(log.epochs) > 0
+        assert log.decisions_recorded >= len(log.epochs)
+
+    def test_reasons_are_canonical(self):
+        _, _, log = self._run()
+        assert set(log.reason_counts) <= set(REASONS)
+
+    def test_decision_log_does_not_perturb_simulation(self):
+        net_a, _, _ = self._run()
+        net_b = make_network()
+        controller_b = EpochController(net_b, config=ControllerConfig())
+        net_b.attach_workload(
+            UniformRandomWorkload(net_b.topology.num_hosts,
+                                  seed=3).events(0.5 * MS))
+        net_b.run(until_ns=0.5 * MS)
+        assert net_a.stats.messages_delivered == net_b.stats.messages_delivered
+        assert net_a.sim.events_fired == net_b.sim.events_fired
+
+
+class TestLocalControllersAudit:
+    def test_shared_log_has_per_chip_names(self):
+        net = make_network()
+        log = DecisionLog()
+        fleet = SwitchLocalControllers.deploy(
+            net, config=ControllerConfig(independent_channels=True),
+            decision_log=log)
+        net.attach_workload(
+            UniformRandomWorkload(net.topology.num_hosts,
+                                  seed=3).events(0.3 * MS))
+        net.run(until_ns=0.3 * MS)
+        names = {d.controller for d in log.records}
+        assert len(names) > 1
+        assert all(name.startswith(("sw", "host")) for name in names)
+        total = sum(c.reconfigurations for c in fleet.controllers)
+        assert log.transitions_recorded == total
+
+
+class TestLaneControllerAudit:
+    def test_lane_decisions_carry_modes(self):
+        net = make_network()
+        log = DecisionLog()
+        controller = LaneAwareController(
+            net, config=LaneControllerConfig(), decision_log=log)
+        net.attach_workload(
+            UniformRandomWorkload(net.topology.num_hosts,
+                                  seed=3).events(0.3 * MS))
+        net.run(until_ns=0.3 * MS)
+        assert log.decisions_recorded > 0
+        assert all(d.old_mode is not None for d in log.records
+                   if d.reason != POWERED_OFF)
+        assert log.transitions_recorded == controller.reconfigurations

@@ -1,0 +1,119 @@
+"""Provenance-stamped run records and the sweep run log."""
+
+import pytest
+
+from repro.experiments.cache import CACHE_SCHEMA_VERSION, spec_key
+from repro.experiments.runner import SimulationSpec
+from repro.experiments.sweep import RUN_LOG_ENV, SweepRunner
+from repro.obs.runrecord import (
+    RUN_RECORD_SCHEMA_VERSION,
+    RunRecordWriter,
+    collect_provenance,
+    read_run_log,
+    transitions_accounted,
+)
+
+SPEC = SimulationSpec(k=2, n=2, duration_ns=100_000.0, workload="uniform")
+
+
+class TestProvenance:
+    def test_collect_provenance_fields(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        prov = collect_provenance()
+        assert prov["env"].get("REPRO_SCALE") == "small"
+        assert "git_sha" in prov
+        assert prov["writer_pid"] > 0
+
+    def test_provenance_env_only_repro_keys(self, monkeypatch):
+        monkeypatch.setenv("PATH_EXTRA_NOISE", "x")
+        prov = collect_provenance()
+        assert all(key.startswith("REPRO_") for key in prov["env"])
+
+
+class TestRunRecordWriter:
+    def test_record_round_trips(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        writer = RunRecordWriter(path)
+        summary = SweepRunner(jobs=1, cache=None).run([SPEC])[SPEC]
+        writer.record_run(SPEC, summary, cached=False)
+
+        records = read_run_log(path)
+        assert len(records) == 1
+        record = records[0]
+        assert record["record_schema"] == RUN_RECORD_SCHEMA_VERSION
+        assert record["cache_schema"] == CACHE_SCHEMA_VERSION
+        assert record["cache_key"] == spec_key(SPEC)
+        assert record["cached"] is False
+        assert record["spec"]["k"] == 2
+        assert record["metrics"]["reconfigurations"] \
+            == summary.reconfigurations
+        assert transitions_accounted(record)
+
+    def test_corrupt_line_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ValueError, match=r":2:"):
+            read_run_log(path)
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(ValueError, match="not an object"):
+            read_run_log(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        path.write_text('{"ok": 1}\n\n{"ok": 2}\n')
+        assert len(read_run_log(path)) == 2
+
+    def test_transitions_accounted_detects_mismatch(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        summary = SweepRunner(jobs=1, cache=None).run([SPEC])[SPEC]
+        RunRecordWriter(path).record_run(SPEC, summary, cached=False)
+        record = read_run_log(path)[0]
+        record["metrics"]["reconfigurations"] += 1
+        assert not transitions_accounted(record)
+
+
+class TestSweepRunLog:
+    def test_runner_writes_one_record_per_spec(self, tmp_path):
+        from repro.experiments.cache import SweepCache
+
+        log = tmp_path / "runs.jsonl"
+        cache = SweepCache(tmp_path / "cache")
+        specs = [SPEC, SimulationSpec(k=2, n=2, duration_ns=100_000.0,
+                                      workload="uniform", seed=2)]
+
+        SweepRunner(jobs=1, cache=cache, run_log=log).run(specs)
+        records = read_run_log(log)
+        assert len(records) == len(specs)
+        assert all(record["cached"] is False for record in records)
+        assert all(transitions_accounted(record) for record in records)
+
+        # Second sweep over a warm cache: records are appended and
+        # honestly marked as cache hits.
+        SweepRunner(jobs=1, cache=cache, run_log=log).run(specs)
+        records = read_run_log(log)
+        assert len(records) == 2 * len(specs)
+        assert all(record["cached"] is True for record in records[2:])
+
+    def test_env_var_sets_default_run_log(self, tmp_path, monkeypatch):
+        from repro.experiments import sweep as sweep_mod
+
+        log = tmp_path / "env-runs.jsonl"
+        monkeypatch.setenv(RUN_LOG_ENV, str(log))
+        monkeypatch.setattr(sweep_mod, "_default_runner", None)
+        sweep_mod.default_runner().run([SPEC])
+        assert len(read_run_log(log)) == 1
+
+    def test_no_run_log_writes_nothing(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(RUN_LOG_ENV, raising=False)
+        SweepRunner(jobs=1, cache=None).run([SPEC])
+        assert not list(tmp_path.iterdir())
+
+    def test_worker_pid_and_wall_seconds_stamped(self, tmp_path):
+        log = tmp_path / "runs.jsonl"
+        SweepRunner(jobs=1, cache=None, run_log=log).run([SPEC])
+        record = read_run_log(log)[0]
+        assert record["worker_pid"] > 0
+        assert record["wall_seconds"] >= 0.0

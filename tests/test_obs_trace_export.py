@@ -1,0 +1,103 @@
+"""Chrome trace-event export and its schema check."""
+
+import json
+
+from repro.experiments.runner import SimulationSpec
+from repro.obs.trace_export import (
+    CONTROLLER_TID,
+    PHASES,
+    _rate_segments,
+    export_trace,
+    validate_trace,
+)
+
+SPEC = SimulationSpec(k=2, n=2, duration_ns=100_000.0, workload="uniform")
+
+
+class TestRateSegments:
+    def test_no_transitions_is_one_segment(self):
+        assert _rate_segments(40.0, 100.0, []) == [(0.0, 100.0, 40.0)]
+
+    def test_transitions_split_the_timeline(self):
+        segments = _rate_segments(40.0, 100.0,
+                                  [(25.0, 20.0), (50.0, None)])
+        assert segments == [(0.0, 25.0, 40.0),
+                            (25.0, 50.0, 20.0),
+                            (50.0, 100.0, None)]
+
+    def test_transition_at_time_zero_drops_empty_segment(self):
+        segments = _rate_segments(40.0, 100.0, [(0.0, 10.0)])
+        assert segments == [(0.0, 100.0, 10.0)]
+
+
+class TestExportTrace:
+    def test_export_writes_loadable_valid_trace(self, tmp_path):
+        out = tmp_path / "trace.json"
+        trace = export_trace(SPEC, out)
+        assert validate_trace(trace) == []
+
+        loaded = json.loads(out.read_text())
+        assert validate_trace(loaded) == []
+        events = loaded["traceEvents"]
+        phases = {event["ph"] for event in events}
+        assert phases <= set(PHASES)
+        # Epoch instants on the controller track.
+        assert any(event["ph"] == "i" and event["tid"] == CONTROLLER_TID
+                   for event in events)
+        # Rate slices on channel tracks, with named tracks.
+        assert any(event["ph"] == "X" and event["tid"] >= 1
+                   for event in events)
+        assert any(event["ph"] == "M" and event["name"] == "thread_name"
+                   for event in events)
+        assert loaded["otherData"]["transitions"] > 0
+
+    def test_power_counter_series_optional(self, tmp_path):
+        trace = export_trace(SPEC, tmp_path / "with-power.json",
+                             power_period_ns=10_000.0)
+        assert any(event["ph"] == "C"
+                   and event["name"] == "power_fraction"
+                   for event in trace["traceEvents"])
+
+        bare = export_trace(SPEC, tmp_path / "no-power.json")
+        assert not any(event["ph"] == "C"
+                       for event in bare["traceEvents"])
+
+    def test_slices_tile_the_run_per_channel(self, tmp_path):
+        trace = export_trace(SPEC, tmp_path / "trace.json")
+        by_tid = {}
+        for event in trace["traceEvents"]:
+            if event["ph"] == "X":
+                by_tid.setdefault(event["tid"], []).append(event)
+        assert by_tid
+        duration_us = SPEC.duration_ns / 1000.0
+        for slices in by_tid.values():
+            slices.sort(key=lambda e: e["ts"])
+            assert slices[0]["ts"] == 0.0
+            total = sum(e["dur"] for e in slices)
+            assert abs(total - duration_us) < 1.0
+
+
+class TestValidateTrace:
+    def test_rejects_non_object(self):
+        assert validate_trace([1, 2]) != []
+        assert validate_trace({"noTraceEvents": True}) != []
+
+    def test_rejects_unknown_phase(self):
+        payload = {"traceEvents": [{"ph": "Z", "ts": 0.0}]}
+        assert any("unknown phase" in p for p in validate_trace(payload))
+
+    def test_rejects_negative_timestamps_and_durations(self):
+        payload = {"traceEvents": [
+            {"ph": "X", "pid": 1, "tid": 1, "name": "s",
+             "ts": -1.0, "dur": 1.0, "args": {}},
+            {"ph": "X", "pid": 1, "tid": 1, "name": "s",
+             "ts": 0.0, "dur": -2.0, "args": {}},
+        ]}
+        problems = validate_trace(payload)
+        assert any("bad ts" in p for p in problems)
+        assert any("bad dur" in p for p in problems)
+
+    def test_rejects_metadata_without_args(self):
+        payload = {"traceEvents": [
+            {"ph": "M", "pid": 1, "tid": 0, "name": "process_name"}]}
+        assert any("lacks args" in p for p in validate_trace(payload))
