@@ -14,6 +14,8 @@ Usage::
     python -m repro obs summarize runs.jsonl
     python -m repro obs diff before.jsonl after.jsonl
     python -m repro obs export-trace --out trace.json
+    python -m repro predictive                     # forecaster sweep
+    python -m repro predict --forecaster ewma --oracle
 
 Simulation-backed experiments honour ``--scale`` (equivalent to the
 ``REPRO_SCALE`` environment variable); analytic ones ignore it.  Their
@@ -57,6 +59,7 @@ from repro.experiments import (
     figure8,
     figure9,
     policies,
+    predictive,
     routing_ablation,
     savings,
     sensors,
@@ -98,6 +101,8 @@ EXPERIMENTS: Dict[str, tuple] = {
                     mixed_media.run),
     "oversubscription": ("§2.1.1 concentration sweep: W/host vs "
                          "saturation", True, oversubscription.run),
+    "predictive": ("forecast-driven rate control vs reactive, with "
+                   "oracle/baseline regret", True, predictive.run),
 }
 
 
@@ -227,7 +232,7 @@ def build_obs_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--out", type=Path, required=True, metavar="PATH",
                       help="output trace JSON file")
     p_tr.add_argument("--workload", default="search",
-                      choices=["uniform", "search", "advert"],
+                      choices=["uniform", "search", "advert", "bursty"],
                       help="workload to simulate (default: search)")
     p_tr.add_argument("--k", type=int, default=4,
                       help="FBFLY radix per dimension (default: 4)")
@@ -238,11 +243,18 @@ def build_obs_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--duration-ns", type=float, default=2_000_000.0,
                       help="simulated duration in ns (default: 2e6)")
     p_tr.add_argument("--control", default="epoch",
-                      choices=["epoch", "none", "always_slowest"],
+                      choices=["epoch", "none", "always_slowest",
+                               "predict", "oracle"],
                       help="control mode (default: epoch)")
     p_tr.add_argument("--policy", default="threshold",
                       help="rate policy for epoch control "
                            "(default: threshold)")
+    p_tr.add_argument("--forecaster", default=None,
+                      help="forecaster for --control predict "
+                           "(default: last_value)")
+    p_tr.add_argument("--headroom", type=float, default=0.0,
+                      help="forecast headroom fraction for predict/"
+                           "oracle control (default: 0)")
     p_tr.add_argument("--independent-channels", action="store_true",
                       help="tune each channel direction separately")
     p_tr.add_argument("--power-period-ns", type=float, default=10_000.0,
@@ -333,6 +345,7 @@ def _obs_export_trace(args: argparse.Namespace) -> int:
         duration_ns=args.duration_ns, seed=args.seed,
         control=args.control, policy=args.policy,
         independent_channels=args.independent_channels,
+        forecaster=args.forecaster, headroom=args.headroom,
     )
     period = args.power_period_ns if args.power_period_ns > 0 else None
     trace = export_trace(spec, args.out, power_period_ns=period)
@@ -340,6 +353,79 @@ def _obs_export_trace(args: argparse.Namespace) -> int:
     print(f"wrote {args.out}: {len(trace['traceEvents'])} events, "
           f"{meta['channels']} channel tracks, {meta['epochs']} epochs, "
           f"{meta['transitions']} rate transitions")
+    return 0
+
+
+def build_predict_parser() -> argparse.ArgumentParser:
+    """Construct the parser for the ``predict`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro predict",
+        description="Compare predictive rate control against the "
+                    "reactive controller, the full-rate baseline and "
+                    "(optionally) the clairvoyant oracle.",
+    )
+    from repro.predict.forecasters import FORECASTERS
+    parser.add_argument(
+        "--forecaster", default="ewma", choices=sorted(FORECASTERS),
+        help="demand forecaster for the predictive run (default: ewma)")
+    parser.add_argument(
+        "--headroom", type=float, default=0.1, metavar="FRAC",
+        help="capacity provisioned above the forecast, as a fraction "
+             "(default: 0.1)")
+    parser.add_argument(
+        "--oracle", action="store_true",
+        help="also run the clairvoyant oracle (costs one extra "
+             "measurement pass) and report energy regret against it")
+    parser.add_argument(
+        "--workload", default="bursty",
+        choices=["uniform", "search", "advert", "bursty"],
+        help="workload to drive (default: bursty)")
+    parser.add_argument(
+        "--target", type=float, default=0.5, metavar="UTIL",
+        help="demand-ladder target utilization for the predictive "
+             "policy (default: 0.5)")
+    parser.add_argument(
+        "--seed", type=int, default=1, help="workload RNG seed")
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default=None,
+        help="simulation scale (default: $REPRO_SCALE or 'small')")
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="sweep worker processes")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent run cache")
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None, metavar="DIR",
+        help="persistent run-cache directory "
+             "(default: $REPRO_CACHE_DIR or ~/.cache/repro/sweeps)")
+    parser.add_argument(
+        "--run-log", type=Path, default=None, metavar="PATH",
+        help="append one provenance-stamped JSONL run record per "
+             "resolved spec")
+    return parser
+
+
+def predict_main(argv) -> int:
+    """Entry point for ``python -m repro predict ...``."""
+    args = build_predict_parser().parse_args(argv)
+    sweep.configure(jobs=args.jobs, use_cache=not args.no_cache,
+                    cache_dir=args.cache_dir, run_log=args.run_log)
+    scale = SCALES[args.scale] if args.scale else current_scale()
+    try:
+        result = predictive.run(
+            scale=scale, workload=args.workload,
+            forecasters=[args.forecaster], headroom=args.headroom,
+            target=args.target, seed=args.seed,
+            with_oracle=args.oracle)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(result.format_table())
+    winner = result.dominance()
+    if winner:
+        print(f"\npredict/{winner} strictly dominates reactive control "
+              "on the power/latency frontier (>=5% margin).")
     return 0
 
 
@@ -364,6 +450,8 @@ def main(argv=None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "obs":
         return obs_main(list(argv[1:]))
+    if argv and argv[0] == "predict":
+        return predict_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
 
     sweep.configure(jobs=args.jobs, use_cache=not args.no_cache,

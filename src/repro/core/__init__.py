@@ -9,6 +9,9 @@
   utilization and retunes every link.
 - :mod:`repro.core.ideal` — ideal-energy-proportionality reference
   points (Section 4.2.1).
+- :mod:`repro.core.registry` — the control-mode registry through which
+  new control planes (e.g. :mod:`repro.predict`) plug into the run
+  harness.
 - :mod:`repro.core.dynamic_topology` — the Section 5.1 dynamic-topology
   controller (FBFLY <-> torus <-> mesh by powering links off).
 """
@@ -18,7 +21,14 @@ from repro.core.policies import (
     ThresholdPolicy,
     HysteresisPolicy,
     AggressivePolicy,
+    DemandLadderPolicy,
     PredictivePolicy,
+)
+from repro.core.registry import (
+    register_control_mode,
+    registered_control_modes,
+    control_mode_registered,
+    build_controller,
 )
 from repro.core.grouping import (
     ChannelGroup,
@@ -53,7 +63,12 @@ __all__ = [
     "ThresholdPolicy",
     "HysteresisPolicy",
     "AggressivePolicy",
+    "DemandLadderPolicy",
     "PredictivePolicy",
+    "register_control_mode",
+    "registered_control_modes",
+    "control_mode_registered",
+    "build_controller",
     "ChannelGroup",
     "independent_groups",
     "paired_groups",

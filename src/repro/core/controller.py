@@ -149,26 +149,40 @@ class EpochController:
                         credit_stalls=reading.credit_stalls,
                     ))
                 continue
-            estimate = self.sensor.estimate(group, reading)
-            current = group.current_rate
-            new_rate = self.policy.decide(group, current, estimate, ladder)
-            changed = group.set_rate(new_rate, self.config.reactivation_ns)
-            if changed:
-                self.reconfigurations += 1
-            if log is not None:
-                log.record(Decision(
-                    time_ns=now, controller=self.name, group=group.name,
-                    channels=tuple(ch.name for ch in group.channels),
-                    old_rate=current, new_rate=new_rate,
-                    reason=classify_reason(current, new_rate, changed,
-                                           estimate, ladder, self.policy),
-                    changed=changed, estimate=estimate,
-                    utilization=reading.utilization,
-                    queue_fraction=reading.queue_fraction,
-                    credit_stalls=reading.credit_stalls,
-                    reactivation_ns=(self.config.reactivation_ns
-                                     if changed else 0.0),
-                ))
+            self._decide_group(group, reading, ladder, now, log)
         self.epochs_run += 1
         self._event = self.network.sim.schedule(epoch_ns, self._on_epoch,
                                                 daemon=True)
+
+    def _decide_group(self, group: ChannelGroup, reading: GroupReading,
+                      ladder, now: float,
+                      log: Optional[DecisionLog]) -> None:
+        """Decide and apply one group's next-epoch rate.
+
+        The single extension point for alternative decision planes: the
+        predictive controller
+        (:class:`repro.predict.controller.PredictiveEpochController`)
+        and clairvoyant oracle override only this method, inheriting the
+        epoch scheduling, group iteration, powered-off skipping and
+        drain/reactivation machinery unchanged.
+        """
+        estimate = self.sensor.estimate(group, reading)
+        current = group.current_rate
+        new_rate = self.policy.decide(group, current, estimate, ladder)
+        changed = group.set_rate(new_rate, self.config.reactivation_ns)
+        if changed:
+            self.reconfigurations += 1
+        if log is not None:
+            log.record(Decision(
+                time_ns=now, controller=self.name, group=group.name,
+                channels=tuple(ch.name for ch in group.channels),
+                old_rate=current, new_rate=new_rate,
+                reason=classify_reason(current, new_rate, changed,
+                                       estimate, ladder, self.policy),
+                changed=changed, estimate=estimate,
+                utilization=reading.utilization,
+                queue_fraction=reading.queue_fraction,
+                credit_stalls=reading.credit_stalls,
+                reactivation_ns=(self.config.reactivation_ns
+                                 if changed else 0.0),
+            ))

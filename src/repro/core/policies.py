@@ -126,6 +126,39 @@ class AggressivePolicy:
         return f"AggressivePolicy(target={self.target_utilization})"
 
 
+class DemandLadderPolicy:
+    """Jump straight to the slowest rate whose capacity covers demand.
+
+    Where :class:`ThresholdPolicy` walks the ladder one rung per epoch,
+    this policy converts the estimate into absolute demand
+    (``estimate x current_rate``) and selects, in a single epoch, the
+    slowest ladder rate that keeps that demand at or under the target
+    utilization.  Stateless and memoryless — the natural *actuator* for
+    the forecasting controllers of :mod:`repro.predict`, whose
+    forecasters already provide the smoothing; pairing it with a raw
+    utilization estimate instead gives a multi-step reactive ablation.
+    """
+
+    def __init__(self, target_utilization: float = 0.5):
+        if not 0.0 < target_utilization <= 1.0:
+            raise ValueError(
+                f"target must be in (0, 1], got {target_utilization}")
+        self.target_utilization = target_utilization
+
+    def decide(self, group_key: object, current_rate: float,
+               utilization: float, ladder: RateLadder) -> float:
+        """Return the next-epoch rate for the group; see RatePolicy."""
+        _check_utilization(utilization)
+        demand = utilization * current_rate
+        for rate in ladder.rates:
+            if demand <= self.target_utilization * rate:
+                return rate
+        return ladder.max_rate
+
+    def __repr__(self) -> str:
+        return f"DemandLadderPolicy(target={self.target_utilization})"
+
+
 class PredictivePolicy:
     """Section 5.2's "more complex predictive models": EWMA demand tracking.
 

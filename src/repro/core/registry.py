@@ -1,0 +1,72 @@
+"""Control-mode registry: pluggable controller construction.
+
+:func:`repro.experiments.runner.run_simulation` historically
+hard-coded its one controller kind (the reactive
+:class:`~repro.core.controller.EpochController`).  New control planes —
+the predictive controllers of :mod:`repro.predict`, or any future
+experiment-specific scheme — register a builder here instead of
+patching the runner, so a :class:`~repro.experiments.runner
+.SimulationSpec` can name any registered mode in its ``control`` field
+and still flow through the sweep harness, the persistent cache, and the
+worker pool unchanged.
+
+A builder is a callable ``(network, spec, decision_log) -> controller``
+(or ``None`` for modes needing no controller object).  Builders run
+inside :func:`run_simulation` after the network is constructed and
+before the workload attaches, in every worker process, so they must be
+importable at module top level and deterministic for a fixed spec.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+#: Builder signature: ``(network, spec, decision_log) -> controller``.
+ControllerBuilder = Callable[..., Optional[object]]
+
+_BUILDERS: Dict[str, ControllerBuilder] = {}
+
+
+def register_control_mode(name: str, builder: ControllerBuilder,
+                          replace: bool = False) -> None:
+    """Register a controller builder under a control-mode name.
+
+    Args:
+        name: The ``SimulationSpec.control`` value selecting this mode.
+        builder: ``(network, spec, decision_log) -> controller``.
+        replace: Allow overwriting an existing registration (module
+            re-imports and tests); a silent collision is otherwise an
+            error.
+    """
+    if not name:
+        raise ValueError("control mode name must be non-empty")
+    if name in _BUILDERS and not replace:
+        raise ValueError(f"control mode {name!r} is already registered")
+    _BUILDERS[name] = builder
+
+
+def control_mode_registered(name: str) -> bool:
+    """Whether a builder is registered for ``name``."""
+    return name in _BUILDERS
+
+
+def registered_control_modes() -> Tuple[str, ...]:
+    """Every registered mode name, sorted."""
+    return tuple(sorted(_BUILDERS))
+
+
+def build_controller(name: str, network, spec, decision_log):
+    """Construct the controller for a registered mode.
+
+    Raises:
+        ValueError: If no builder is registered under ``name`` (the
+            same error the runner raised before the registry existed).
+    """
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown control mode {name!r}; registered modes: "
+            f"{', '.join(registered_control_modes()) or '(none)'}"
+        ) from None
+    return builder(network=network, spec=spec, decision_log=decision_log)

@@ -33,6 +33,7 @@ Simulation-backed experiments accept an :class:`ExperimentScale`
 | mixed_media | §2.2 packaging-aware copper/optical pricing |
 | oversubscription | §2.1.1 concentration sweep |
 | savings | simulated power priced at the 32k-host scale |
+| predictive | forecast-driven rate control vs the clairvoyant oracle |
 
 Infrastructure modules: ``runner`` (the shared :class:`SimulationSpec`
 -> summary executor), ``sweep`` (parallel batch execution with worker

@@ -62,9 +62,30 @@ def default_cache_dir() -> Path:
 # Canonical encoding and content keys
 # ---------------------------------------------------------------------------
 
+#: Spec fields elided from encodings when at their default value.
+#: Fields added *after* cache entries already existed in the wild must
+#: appear here: eliding the default keeps every pre-existing spec's
+#: canonical JSON — and hence its content key and any golden that pins
+#: it — byte-identical, while any non-default value still lands in the
+#: encoding and gets its own key.
+_ELIDED_SPEC_DEFAULTS = {
+    "forecaster": None,
+    "headroom": 0.0,
+}
+
+
 def spec_to_dict(spec: SimulationSpec) -> Dict[str, Any]:
-    """A spec as a plain JSON-safe dict (field name -> primitive)."""
-    return dataclasses.asdict(spec)
+    """A spec as a plain JSON-safe dict (field name -> primitive).
+
+    Late-added fields at their defaults are elided (see
+    :data:`_ELIDED_SPEC_DEFAULTS`); :func:`spec_from_dict` restores
+    them from the dataclass defaults.
+    """
+    data = dataclasses.asdict(spec)
+    for name, default in _ELIDED_SPEC_DEFAULTS.items():
+        if name in data and data[name] == default:
+            del data[name]
+    return data
 
 
 def spec_from_dict(data: Dict[str, Any]) -> SimulationSpec:
@@ -127,7 +148,7 @@ def summary_to_dict(summary: SimulationSummary) -> Dict[str, Any]:
     Float values round-trip exactly through JSON (``repr`` encoding), so
     a summary loaded from disk is bit-identical to the one stored.
     """
-    return {
+    out = {
         "spec": spec_to_dict(summary.spec),
         "average_utilization": summary.average_utilization,
         "measured_power_fraction": summary.measured_power_fraction,
@@ -146,6 +167,12 @@ def summary_to_dict(summary: SimulationSummary) -> Dict[str, Any]:
         "rate_transitions": [list(row) for row in summary.rate_transitions],
         "worker_pid": summary.worker_pid,
     }
+    # Same late-field elision as spec_to_dict: only predictive runs
+    # carry a payload, so reactive summaries (and every summary cached
+    # before the field existed) keep their exact serialized bytes.
+    if summary.predict is not None:
+        out["predict"] = summary.predict
+    return out
 
 
 def summary_from_dict(data: Dict[str, Any]) -> SimulationSummary:

@@ -21,7 +21,7 @@ import json
 from pathlib import Path
 from typing import Any, Callable, Dict, List
 
-from repro.experiments import figure1, figure7, table1
+from repro.experiments import figure1, figure7, predictive, table1
 from repro.experiments.cache import summary_digest
 from repro.experiments.scale import SCALES
 from repro.experiments.sweep import SweepRunner, using_runner
@@ -72,11 +72,36 @@ def figure7_payload() -> Dict[str, Any]:
     }
 
 
+def predictive_payload() -> Dict[str, Any]:
+    """Predictive-control digests at the pinned ``small`` scale.
+
+    Covers the whole predictive stack in one frozen payload: the
+    bursty-trace baseline, the reactive controller, two forecasters
+    (last-value and EWMA, digests including their forecast-error
+    ledgers) and the clairvoyant oracle.  Live no-cache runs, same as
+    the Figure 7 golden.
+    """
+    with using_runner(SweepRunner(jobs=1, use_cache=False)):
+        result = predictive.run(scale=SCALES["small"],
+                                forecasters=("last_value", "ewma"))
+    return {
+        "scale": "small",
+        "workload": result.workload,
+        "headroom": result.headroom,
+        "baseline": summary_digest(result.baseline),
+        "reactive": summary_digest(result.reactive),
+        "oracle": summary_digest(result.oracle),
+        "predict": {name: summary_digest(summary)
+                    for name, summary in result.by_forecaster.items()},
+    }
+
+
 #: name -> payload builder; the golden file set.
 GOLDEN_BUILDERS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "table1": table1_payload,
     "figure1": figure1_payload,
     "figure7": figure7_payload,
+    "predictive": predictive_payload,
 }
 
 

@@ -15,9 +15,15 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.controller import ControllerConfig, EpochController
+from repro.core.registry import (
+    build_controller,
+    control_mode_registered,
+    register_control_mode,
+)
 from repro.obs.decisions import DecisionLog
 from repro.core.policies import (
     AggressivePolicy,
+    DemandLadderPolicy,
     HysteresisPolicy,
     PredictivePolicy,
     RatePolicy,
@@ -27,13 +33,22 @@ from repro.power.channel_models import IdealChannelPower, MeasuredChannelPower
 from repro.sim.network import FbflyNetwork, NetworkConfig
 from repro.topology.flattened_butterfly import FlattenedButterfly
 from repro.units import US
-from repro.workloads.synthetic_traces import advert_workload, search_workload
+from repro.workloads.synthetic_traces import (
+    advert_workload,
+    bursty_workload,
+    search_workload,
+)
 from repro.workloads.uniform import UniformRandomWorkload
 
-#: Control modes for a run.
+#: Control modes for a run.  ``"predict"`` and ``"oracle"`` are
+#: registered by :mod:`repro.predict` (imported lazily on first use);
+#: anything beyond the three below resolves through
+#: :mod:`repro.core.registry`.
 CONTROL_NONE = "none"              # baseline: all links at full rate
 CONTROL_EPOCH = "epoch"            # the paper's epoch controller
 CONTROL_ALWAYS_SLOWEST = "always_slowest"  # pinned to the minimum rate
+CONTROL_PREDICT = "predict"        # forecast-driven epoch controller
+CONTROL_ORACLE = "oracle"          # clairvoyant two-pass power floor
 
 _POLICIES = {
     "threshold": ThresholdPolicy,
@@ -41,6 +56,7 @@ _POLICIES = {
         low=max(0.05, target - 0.2), high=min(0.95, target + 0.2)),
     "aggressive": AggressivePolicy,
     "predictive": PredictivePolicy,
+    "ladder": DemandLadderPolicy,
 }
 
 
@@ -66,6 +82,13 @@ class SimulationSpec:
     concentration: Optional[int] = None  # hosts per switch; None -> k
     message_bytes: Optional[int] = None  # uniform workload override
     inject_fraction: float = 1.0         # inject over this duration slice
+    #: Forecaster name for ``control="predict"`` runs (see
+    #: :data:`repro.predict.forecasters.FORECASTERS`); ``None``
+    #: elsewhere.  Elided from cache encodings at the default.
+    forecaster: Optional[str] = None
+    #: Fractional capacity provisioned above the forecast (predict) or
+    #: above true demand (oracle).  Elided from cache encodings at 0.
+    headroom: float = 0.0
 
     def build_topology(self) -> FlattenedButterfly:
         """Construct the FBFLY this spec describes."""
@@ -84,6 +107,9 @@ class SimulationSpec:
                                    line_rate_gbps=line_rate_gbps)
         if self.workload == "advert":
             return advert_workload(num_hosts, seed=self.seed,
+                                   line_rate_gbps=line_rate_gbps)
+        if self.workload == "bursty":
+            return bursty_workload(num_hosts, seed=self.seed,
                                    line_rate_gbps=line_rate_gbps)
         raise ValueError(f"unknown workload {self.workload!r}")
 
@@ -125,6 +151,28 @@ class SimulationSummary:
     rate_transitions: List[List] = field(default_factory=list)
     #: PID of the process that simulated this run (0 in legacy records).
     worker_pid: int = 0
+    #: Predictive-control digest (forecast-attributed decision counts,
+    #: forecast-error distributions, oracle schedule stats) — ``None``
+    #: for every non-predictive run, and elided from cache encodings so
+    #: legacy records and goldens are untouched.
+    predict: Optional[Dict] = None
+
+
+def _build_epoch_controller(network, spec, decision_log):
+    """Control-mode builder for the paper's epoch controller."""
+    return EpochController(
+        network,
+        policy=spec.build_policy(),
+        config=ControllerConfig(
+            epoch_ns=spec.epoch_ns,
+            reactivation_ns=spec.reactivation_ns,
+            independent_channels=spec.independent_channels,
+        ),
+        decision_log=decision_log,
+    )
+
+
+register_control_mode(CONTROL_EPOCH, _build_epoch_controller)
 
 
 def run_simulation(spec: SimulationSpec,
@@ -155,19 +203,15 @@ def run_simulation(spec: SimulationSpec,
     decision_log = (telemetry.decision_log if telemetry is not None
                     else DecisionLog(max_records=0))
     controller = None
-    if spec.control == CONTROL_EPOCH:
-        controller = EpochController(
-            network,
-            policy=spec.build_policy(),
-            config=ControllerConfig(
-                epoch_ns=spec.epoch_ns,
-                reactivation_ns=spec.reactivation_ns,
-                independent_channels=spec.independent_channels,
-            ),
-            decision_log=decision_log,
-        )
-    elif spec.control not in (CONTROL_NONE, CONTROL_ALWAYS_SLOWEST):
-        raise ValueError(f"unknown control mode {spec.control!r}")
+    if spec.control not in (CONTROL_NONE, CONTROL_ALWAYS_SLOWEST):
+        if not control_mode_registered(spec.control):
+            # The predictive control plane registers its modes on
+            # import; load it once, on demand, so reactive-only users
+            # never pay for it.  Unknown modes still fail below with
+            # the registry's full mode list.
+            import repro.predict  # noqa: F401
+        controller = build_controller(spec.control, network=network,
+                                      spec=spec, decision_log=decision_log)
 
     if telemetry is not None:
         telemetry.attach(network)
@@ -196,6 +240,8 @@ def run_simulation(spec: SimulationSpec,
         decision_counts=dict(decision_log.reason_counts),
         rate_transitions=decision_log.transition_counts_list(),
         worker_pid=os.getpid(),
+        predict=(controller.predict_summary()
+                 if hasattr(controller, "predict_summary") else None),
     )
 
 

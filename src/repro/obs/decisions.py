@@ -31,6 +31,28 @@ Reason codes:
   hysteresis band).
 - ``powered_off`` — the group was skipped because a member channel is
   powered down (dynamic topologies, §5.1).
+
+The predictive controller (:mod:`repro.predict.controller`) extends the
+taxonomy with three forecast-attributed codes, emitted only when its
+forecast actually deviates from the trailing observation (so a
+degenerate last-value forecaster reproduces the reactive reason stream
+bit-for-bit):
+
+- ``forecast_ramp_up`` — the rate was raised *before* observed demand
+  crossed the policy threshold: the forecast, not the epoch's raw
+  utilization, drove the up-step (the proactive ramp of Section 5.2's
+  "more aggressive" policies).
+- ``forecast_hold`` — raw utilization alone would have stepped the rate
+  down, but the forecast predicted returning demand and held it.
+- ``forecast_miss`` — demand arrived beyond what the previous epoch's
+  forecast (plus headroom) provisioned for, and the controller is now
+  ramping up *late* — the reactive-penalty case prediction exists to
+  eliminate, so counting these measures forecast quality in place.
+
+The taxonomy is **closed**: :meth:`DecisionLog.record` raises
+``ValueError`` on a reason outside :data:`REASONS` rather than silently
+counting a typo as a new category (aggregate counters keyed by
+free-form strings would otherwise mask the bug forever).
 """
 
 from __future__ import annotations
@@ -49,10 +71,17 @@ CLAMPED_MAX = "clamped_max"
 CLAMPED_MIN = "clamped_min"
 HOLD = "hold"
 POWERED_OFF = "powered_off"
+FORECAST_RAMP_UP = "forecast_ramp_up"
+FORECAST_HOLD = "forecast_hold"
+FORECAST_MISS = "forecast_miss"
 
-#: Every legal reason code.
+#: Every legal reason code (closed set; ``DecisionLog.record`` rejects
+#: anything else).
 REASONS = (ABOVE_THRESHOLD, BELOW_THRESHOLD, REACTIVATION_PENDING,
-           CLAMPED_MAX, CLAMPED_MIN, HOLD, POWERED_OFF)
+           CLAMPED_MAX, CLAMPED_MIN, HOLD, POWERED_OFF,
+           FORECAST_RAMP_UP, FORECAST_HOLD, FORECAST_MISS)
+
+_KNOWN_REASONS = frozenset(REASONS)
 
 
 def classify_reason(old_rate: float, new_rate: float, changed: bool,
@@ -104,6 +133,10 @@ class Decision:
         reactivation_ns: Stall the transition costs (0 when unchanged).
         old_mode: Optional richer operating-point label (lane ladders).
         new_mode: Optional richer operating-point label (lane ladders).
+        forecast_gbps: Demand (Gb/s) the predictive controller forecast
+            for the *next* epoch (``None`` for reactive controllers).
+        observed_gbps: Demand (Gb/s) actually observed over the epoch
+            just ended (``None`` for reactive controllers).
     """
 
     time_ns: float
@@ -121,6 +154,8 @@ class Decision:
     reactivation_ns: float = 0.0
     old_mode: Optional[str] = None
     new_mode: Optional[str] = None
+    forecast_gbps: Optional[float] = None
+    observed_gbps: Optional[float] = None
 
     def to_dict(self) -> Dict[str, object]:
         """The decision as a JSON-safe dict (channels as a list)."""
@@ -164,7 +199,18 @@ class DecisionLog:
     # -- recording (called by the controllers) --------------------------
 
     def record(self, decision: Decision) -> None:
-        """Append one decision; updates counters and the spill file."""
+        """Append one decision; updates counters and the spill file.
+
+        Raises:
+            ValueError: If ``decision.reason`` is not in
+                :data:`REASONS` — the taxonomy is closed, so a typo'd
+                or unregistered reason fails loudly instead of
+                accumulating under a phantom category.
+        """
+        if decision.reason not in _KNOWN_REASONS:
+            raise ValueError(
+                f"unknown decision reason {decision.reason!r}; legal "
+                f"reasons: {', '.join(REASONS)}")
         self.decisions_recorded += 1
         self.records.append(decision)
         self.reason_counts[decision.reason] = (

@@ -30,6 +30,7 @@ from repro.sim.tracing import PacketTracer, TraceRecord
 from repro.sim.invariants import check_fabric, InvariantReport
 from repro.sim.monitors import PowerMonitor, CongestionMonitor
 from repro.sim.stats import NetworkStats, ChannelStats
+from repro.sim.taps import EpochDemandTap
 
 __all__ = [
     "Simulator",
@@ -54,4 +55,5 @@ __all__ = [
     "CongestionMonitor",
     "NetworkStats",
     "ChannelStats",
+    "EpochDemandTap",
 ]

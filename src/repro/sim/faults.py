@@ -17,7 +17,7 @@ link-level retransmission from the sender's buffer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple, TYPE_CHECKING
+from typing import List, Optional, Tuple, TYPE_CHECKING
 
 from repro.sim.channel import Channel, ChannelState
 
@@ -31,7 +31,7 @@ class FaultRecord:
 
     time_ns: float
     link: Tuple[int, int]
-    repaired_ns: float = None
+    repaired_ns: Optional[float] = None
     stranded_packets: int = 0
 
 
@@ -52,7 +52,7 @@ class LinkFaultInjector:
     # ------------------------------------------------------------------
 
     def fail_link(self, time_ns: float, a: int, b: int,
-                  repair_after_ns: float = None) -> FaultRecord:
+                  repair_after_ns: Optional[float] = None) -> FaultRecord:
         """Schedule both channels of link (a, b) to fail at ``time_ns``.
 
         Args:

@@ -1,0 +1,78 @@
+"""Epoch-aligned demand taps: passive per-group load sensors.
+
+The forecasting layer (:mod:`repro.predict`) needs the quantity the
+epoch controller reacts to — per-control-group bandwidth demand, one
+sample per epoch — *without* a controller attached.  An
+:class:`EpochDemandTap` schedules the same daemon cadence as
+:class:`~repro.core.controller.EpochController` and snapshots each
+group's busy time into a demand series in Gb/s:
+
+- the clairvoyant oracle's first pass records true demand at full rate
+  (:mod:`repro.predict.oracle`), and
+- forecasters can be evaluated offline against a recorded series
+  without re-simulating.
+
+The tap is read-only with respect to the simulation: it fires daemon
+events (visible in the engine's event counter, like the monitors) but
+never touches rates, queues, or routing, so a tapped run's traffic
+outcome is bit-identical to an untapped one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.grouping import ChannelGroup
+
+
+class EpochDemandTap:
+    """Records per-group demand (Gb/s) once per epoch.
+
+    Args:
+        network: The fabric to observe (supplies the simulator clock).
+        groups: Control groups to sample.  Pass the same grouping
+            (paired / independent) the consumer will control, so the
+            recorded series aligns group-for-group.
+        epoch_ns: Sampling period; use the controller's epoch so sample
+            ``i`` covers exactly the epoch ``[i*e, (i+1)*e)``.
+
+    Attributes:
+        demand_gbps: ``group name -> [demand per epoch]``, appended as
+            the run progresses.
+    """
+
+    def __init__(self, network, groups: Sequence[ChannelGroup],
+                 epoch_ns: float):
+        if epoch_ns <= 0:
+            raise ValueError(f"epoch must be positive, got {epoch_ns}")
+        self.network = network
+        self.groups = list(groups)
+        self.epoch_ns = epoch_ns
+        self.demand_gbps: Dict[str, List[float]] = {
+            group.name: [] for group in self.groups
+        }
+        self.samples_taken = 0
+        self._event = network.sim.schedule(epoch_ns, self._on_epoch,
+                                           daemon=True)
+
+    def stop(self) -> None:
+        """Cease sampling (recorded series are kept)."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _on_epoch(self) -> None:
+        for group in self.groups:
+            utilization = group.utilization_since_last(self.epoch_ns)
+            # Busy fraction at the group's *current* rate converts to
+            # absolute demand; at full rate (the oracle's measurement
+            # pass) this is the true offered load of the epoch.
+            self.demand_gbps[group.name].append(
+                utilization * group.current_rate)
+        self.samples_taken += 1
+        self._event = self.network.sim.schedule(self.epoch_ns,
+                                                self._on_epoch, daemon=True)
+
+    def series(self, group_name: str) -> List[float]:
+        """The recorded demand series of one group."""
+        return list(self.demand_gbps[group_name])

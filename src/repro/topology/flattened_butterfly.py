@@ -14,7 +14,7 @@ is what gives the minimal adaptive routing its path diversity.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.topology.base import Coordinate, SwitchLink, Topology
 from repro.topology.parts import PartCount
@@ -31,7 +31,7 @@ class FlattenedButterfly(Topology):
             non-over-subscribed build used throughout the evaluation).
     """
 
-    def __init__(self, k: int, n: int, c: int = None):
+    def __init__(self, k: int, n: int, c: Optional[int] = None):
         if k < 2:
             raise ValueError(f"radix k must be >= 2, got {k}")
         if n < 1:

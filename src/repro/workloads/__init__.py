@@ -25,8 +25,10 @@ from repro.workloads.synthetic_traces import (
     TraceProfile,
     SEARCH_PROFILE,
     ADVERT_PROFILE,
+    BURSTY_PROFILE,
     search_workload,
     advert_workload,
+    bursty_workload,
 )
 from repro.workloads.trace import (
     save_trace,
@@ -60,8 +62,10 @@ __all__ = [
     "TraceProfile",
     "SEARCH_PROFILE",
     "ADVERT_PROFILE",
+    "BURSTY_PROFILE",
     "search_workload",
     "advert_workload",
+    "bursty_workload",
     "save_trace",
     "load_trace",
     "ReplayWorkload",

@@ -145,6 +145,28 @@ ADVERT_PROFILE = TraceProfile(
 )
 
 
+#: Predictive-control stress case: the same request/response model but
+#: with long, deep ON/OFF swings.  Clients sit dark 85% of the time and
+#: concentrate their whole load into 160 us ON phases of fat responses,
+#: so per-link demand alternates between near-zero and many-epoch
+#: plateaus far above the mean — the regime where a reactive controller
+#: pays a full epoch of latency at every burst front and a forecaster
+#: has real structure to exploit.
+BURSTY_PROFILE = TraceProfile(
+    name="bursty",
+    avg_load=0.055,
+    server_fraction=0.25,
+    requests_per_session_mean=12.0,
+    response_size=LogNormalSize(96 * 1024, 1.0),
+    replication_size=LogNormalSize(1024 * 1024, 0.8),
+    replication_byte_fraction=0.35,
+    intra_session_gap_ns=1.0 * US,
+    client_duty_cycle=0.15,
+    client_on_ns=160.0 * US,
+    zipf_skew=1.2,
+)
+
+
 class BurstyTraceWorkload:
     """Multi-timescale bursty request/response + replication traffic."""
 
@@ -349,4 +371,11 @@ def advert_workload(num_hosts: int, seed: int = 1,
                     line_rate_gbps: float = 40.0) -> BurstyTraceWorkload:
     """The Advert-like trace workload (~5% average utilization)."""
     return BurstyTraceWorkload(num_hosts, ADVERT_PROFILE,
+                               line_rate_gbps=line_rate_gbps, seed=seed)
+
+
+def bursty_workload(num_hosts: int, seed: int = 1,
+                    line_rate_gbps: float = 40.0) -> BurstyTraceWorkload:
+    """The deep-ON/OFF predictive-control stress workload."""
+    return BurstyTraceWorkload(num_hosts, BURSTY_PROFILE,
                                line_rate_gbps=line_rate_gbps, seed=seed)

@@ -47,6 +47,10 @@ class TestGoldenFiles:
         frozen = golden.load(GOLDEN_DIR, "figure7")
         golden.assert_close(frozen, golden.figure7_payload())
 
+    def test_predictive_simulation_digest_matches(self):
+        frozen = golden.load(GOLDEN_DIR, "predictive")
+        golden.assert_close(frozen, golden.predictive_payload())
+
 
 class TestAssertClose:
     def test_accepts_tiny_float_noise(self):

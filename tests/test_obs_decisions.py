@@ -125,6 +125,26 @@ class TestDecisionLog:
         assert lines[1]["group"] == "g0"
         assert lines[2]["reason"] == HOLD
 
+    def test_unknown_reason_raises(self):
+        log = DecisionLog()
+        with pytest.raises(ValueError, match="unknown decision reason"):
+            log.record(_decision(0, reason="tpyo_reason"))
+        # A rejected record must leave no trace in any aggregate.
+        assert log.decisions_recorded == 0
+        assert log.reason_counts == {}
+        assert len(log) == 0
+
+    def test_every_documented_reason_is_accepted(self):
+        log = DecisionLog()
+        for i, reason in enumerate(REASONS):
+            log.record(_decision(i, reason=reason))
+        assert log.decisions_recorded == len(REASONS)
+        assert set(log.reason_counts) == set(REASONS)
+
+    def test_forecast_reasons_are_registered(self):
+        assert {"forecast_ramp_up", "forecast_hold",
+                "forecast_miss"} <= set(REASONS)
+
     def test_format_line_mentions_counts(self):
         log = DecisionLog()
         log.record(_decision(0))
