@@ -16,6 +16,7 @@ Usage::
     python -m repro obs export-trace --out trace.json
     python -m repro predictive                     # forecaster sweep
     python -m repro predict --forecaster ewma --oracle
+    python -m repro faults --compare               # fault campaign verdict
 
 Simulation-backed experiments honour ``--scale`` (equivalent to the
 ``REPRO_SCALE`` environment variable); analytic ones ignore it.  Their
@@ -52,6 +53,7 @@ from repro.experiments import (
     lane_ladder,
     mixed_media,
     oversubscription,
+    fault_tolerance,
     figure1,
     figure5,
     figure6,
@@ -103,6 +105,9 @@ EXPERIMENTS: Dict[str, tuple] = {
                          "saturation", True, oversubscription.run),
     "predictive": ("forecast-driven rate control vs reactive, with "
                    "oracle/baseline regret", True, predictive.run),
+    "fault-tolerance": ("seeded fault campaign: gated vs pinned "
+                        "spanning-set availability", True,
+                        fault_tolerance.run),
 }
 
 
@@ -244,8 +249,15 @@ def build_obs_parser() -> argparse.ArgumentParser:
                       help="simulated duration in ns (default: 2e6)")
     p_tr.add_argument("--control", default="epoch",
                       choices=["epoch", "none", "always_slowest",
-                               "predict", "oracle"],
+                               "predict", "oracle", "fault_gated",
+                               "fault_pinned"],
                       help="control mode (default: epoch)")
+    p_tr.add_argument("--faults", default=None, metavar="SCENARIO",
+                      help="named fault scenario to inject; fault and "
+                           "partition events render as instants on a "
+                           "dedicated trace track (default: none)")
+    p_tr.add_argument("--fault-seed", type=int, default=0,
+                      help="fault-process RNG seed (default: 0)")
     p_tr.add_argument("--policy", default="threshold",
                       help="rate policy for epoch control "
                            "(default: threshold)")
@@ -346,13 +358,15 @@ def _obs_export_trace(args: argparse.Namespace) -> int:
         control=args.control, policy=args.policy,
         independent_channels=args.independent_channels,
         forecaster=args.forecaster, headroom=args.headroom,
+        faults=args.faults, fault_seed=args.fault_seed,
     )
     period = args.power_period_ns if args.power_period_ns > 0 else None
     trace = export_trace(spec, args.out, power_period_ns=period)
     meta = trace["otherData"]
     print(f"wrote {args.out}: {len(trace['traceEvents'])} events, "
           f"{meta['channels']} channel tracks, {meta['epochs']} epochs, "
-          f"{meta['transitions']} rate transitions")
+          f"{meta['transitions']} rate transitions, "
+          f"{meta['fault_events']} fault events")
     return 0
 
 
@@ -429,6 +443,73 @@ def predict_main(argv) -> int:
     return 0
 
 
+def build_faults_parser() -> argparse.ArgumentParser:
+    """Construct the parser for the ``faults`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro faults",
+        description="Run the seeded fault campaign: baseline, "
+                    "unprotected gating and the pinned spanning set "
+                    "over one MTBF/MTTR fault process with corrupted "
+                    "sensors.",
+    )
+    from repro.faults import registered_scenarios
+    parser.add_argument(
+        "--scenario", default="mtbf", choices=registered_scenarios(),
+        help="named fault scenario to inject (default: mtbf)")
+    parser.add_argument(
+        "--compare", action="store_true",
+        help="gate the exit status on the availability verdict: the "
+             "pinned controller must sustain >= 99.9%% delivery with "
+             "zero partitions while unprotected gating observably "
+             "degrades")
+    parser.add_argument(
+        "--seed", type=int, default=1, help="workload RNG seed")
+    parser.add_argument(
+        "--fault-seed", type=int, default=1,
+        help="fault-process RNG seed (independent of the workload)")
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="sweep worker processes")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent run cache")
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None, metavar="DIR",
+        help="persistent run-cache directory "
+             "(default: $REPRO_CACHE_DIR or ~/.cache/repro/sweeps)")
+    parser.add_argument(
+        "--run-log", type=Path, default=None, metavar="PATH",
+        help="append one provenance-stamped JSONL run record per "
+             "resolved spec")
+    return parser
+
+
+def faults_main(argv) -> int:
+    """Entry point for ``python -m repro faults ...``."""
+    args = build_faults_parser().parse_args(argv)
+    sweep.configure(jobs=args.jobs, use_cache=not args.no_cache,
+                    cache_dir=args.cache_dir, run_log=args.run_log)
+    before = sweep.active_runner().stats.snapshot()
+    try:
+        result = fault_tolerance.run(
+            scenario=args.scenario, seed=args.seed,
+            fault_seed=args.fault_seed)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    sweep_delta = sweep.active_runner().stats.delta(before)
+    print(result.format_table())
+    print()
+    for line in result.verdict_lines():
+        print(line)
+    if sweep_delta.submitted:
+        print(f"[sweep: {sweep_delta.format_line()}]")
+    if args.compare:
+        return 0 if (result.protected_ok
+                     and result.degraded_detected) else 1
+    return 0
+
+
 def obs_main(argv) -> int:
     """Entry point for ``python -m repro obs ...``."""
     args = build_obs_parser().parse_args(argv)
@@ -452,6 +533,8 @@ def main(argv=None) -> int:
         return obs_main(list(argv[1:]))
     if argv and argv[0] == "predict":
         return predict_main(list(argv[1:]))
+    if argv and argv[0] == "faults":
+        return faults_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
 
     sweep.configure(jobs=args.jobs, use_cache=not args.no_cache,

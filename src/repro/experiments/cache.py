@@ -30,6 +30,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import warnings
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
@@ -71,6 +72,8 @@ def default_cache_dir() -> Path:
 _ELIDED_SPEC_DEFAULTS = {
     "forecaster": None,
     "headroom": 0.0,
+    "faults": None,
+    "fault_seed": 0,
 }
 
 
@@ -172,6 +175,8 @@ def summary_to_dict(summary: SimulationSummary) -> Dict[str, Any]:
     # before the field existed) keep their exact serialized bytes.
     if summary.predict is not None:
         out["predict"] = summary.predict
+    if summary.faults is not None:
+        out["faults"] = summary.faults
     return out
 
 
@@ -277,22 +282,49 @@ class SweepCache:
         return self.directory / f"{self.key_for(spec)}.json"
 
     def get(self, spec: SimulationSpec) -> Optional[SimulationSummary]:
-        """The stored summary for a spec, or ``None`` on any miss."""
+        """The stored summary for a spec, or ``None`` on any miss.
+
+        A *corrupt* entry — truncated/invalid JSON, a non-dict payload,
+        a stored key that does not match its filename, or a summary
+        that no longer decodes — is quarantined into
+        ``<cache-dir>/corrupt/`` with a warning and reads as a miss,
+        so one torn write can never crash (or permanently wedge) a
+        sweep.  A missing file or a different schema version is a
+        plain miss: those are normal, not corruption.
+        """
         path = self.path_for(spec)
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except OSError:
             return None
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            return self._quarantine(path, "invalid JSON")
         if not isinstance(payload, dict):
-            return None
+            return self._quarantine(path, "payload is not an object")
         if payload.get("schema_version") != self.schema_version:
             return None
         if payload.get("key") != self.key_for(spec):
-            return None
+            return self._quarantine(path, "stored key mismatch")
         try:
             return summary_from_dict(payload["summary"])
         except (KeyError, TypeError, ValueError):
-            return None
+            return self._quarantine(path, "summary does not decode")
+
+    def _quarantine(self, path: Path, why: str) -> None:
+        """Move a corrupt entry aside (best-effort) and warn."""
+        target = self.directory / "corrupt" / path.name
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+            moved = f"quarantined to {target}"
+        except OSError:
+            moved = "could not be quarantined"
+        warnings.warn(
+            f"corrupt cache entry {path.name} ({why}); {moved}",
+            RuntimeWarning, stacklevel=3)
+        return None
 
     def put(self, spec: SimulationSpec,
             summary: SimulationSummary) -> Path:

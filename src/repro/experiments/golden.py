@@ -21,7 +21,13 @@ import json
 from pathlib import Path
 from typing import Any, Callable, Dict, List
 
-from repro.experiments import figure1, figure7, predictive, table1
+from repro.experiments import (
+    fault_tolerance,
+    figure1,
+    figure7,
+    predictive,
+    table1,
+)
 from repro.experiments.cache import summary_digest
 from repro.experiments.scale import SCALES
 from repro.experiments.sweep import SweepRunner, using_runner
@@ -96,12 +102,35 @@ def predictive_payload() -> Dict[str, Any]:
     }
 
 
+def faults_payload() -> Dict[str, Any]:
+    """The seeded fault campaign's digests and availability verdict.
+
+    Freezes the whole fault stack at the campaign's pinned fabric and
+    seeds: per-run summary digests (which include the injector's fault/
+    drop/partition accounting and the controllers' gating counters) and
+    the two acceptance booleans — the pinned spanning set holding the
+    99.9% delivery floor with zero partitions, the unprotected gating
+    controller observably degrading.  Live no-cache runs, same as the
+    Figure 7 golden.
+    """
+    with using_runner(SweepRunner(jobs=1, use_cache=False)):
+        result = fault_tolerance.run()
+    return {
+        "scenario": result.scenario,
+        "runs": {label: summary_digest(summary)
+                 for label, summary in result.by_label.items()},
+        "protected_ok": result.protected_ok,
+        "degraded_detected": result.degraded_detected,
+    }
+
+
 #: name -> payload builder; the golden file set.
 GOLDEN_BUILDERS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "table1": table1_payload,
     "figure1": figure1_payload,
     "figure7": figure7_payload,
     "predictive": predictive_payload,
+    "faults": faults_payload,
 }
 
 

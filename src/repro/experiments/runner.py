@@ -89,6 +89,13 @@ class SimulationSpec:
     #: Fractional capacity provisioned above the forecast (predict) or
     #: above true demand (oracle).  Elided from cache encodings at 0.
     headroom: float = 0.0
+    #: Named fault scenario (see :mod:`repro.faults.scenario`); ``None``
+    #: runs the healthy fabric.  Elided from cache encodings at the
+    #: default so pre-fault cache keys stay byte-identical.
+    faults: Optional[str] = None
+    #: Seed of the fault scenario's own RNG streams (independent of the
+    #: workload seed).  Elided from cache encodings at 0.
+    fault_seed: int = 0
 
     def build_topology(self) -> FlattenedButterfly:
         """Construct the FBFLY this spec describes."""
@@ -156,6 +163,10 @@ class SimulationSummary:
     #: for every non-predictive run, and elided from cache encodings so
     #: legacy records and goldens are untouched.
     predict: Optional[Dict] = None
+    #: Fault-campaign digest (scenario name, injected faults, drops,
+    #: bursts, partitions, gating counters) — ``None`` for healthy
+    #: runs, and likewise elided from cache encodings.
+    faults: Optional[Dict] = None
 
 
 def _build_epoch_controller(network, spec, decision_log):
@@ -198,20 +209,38 @@ def run_simulation(spec: SimulationSpec,
     if spec.control == CONTROL_ALWAYS_SLOWEST:
         net_config = NetworkConfig(
             seed=spec.seed, initial_rate_gbps=net_config.ladder.min_rate)
-    network = FbflyNetwork(topology, net_config)
+    routing_factory = None
+    if spec.faults is not None:
+        # Fault runs must route around dark links; plain minimal
+        # adaptive routing cannot.
+        from repro.routing.restricted import RestrictedAdaptiveRouting
+        routing_factory = RestrictedAdaptiveRouting
+    network = FbflyNetwork(topology, net_config,
+                           routing_factory=routing_factory)
 
     decision_log = (telemetry.decision_log if telemetry is not None
                     else DecisionLog(max_records=0))
     controller = None
     if spec.control not in (CONTROL_NONE, CONTROL_ALWAYS_SLOWEST):
         if not control_mode_registered(spec.control):
-            # The predictive control plane registers its modes on
-            # import; load it once, on demand, so reactive-only users
-            # never pay for it.  Unknown modes still fail below with
-            # the registry's full mode list.
+            # The predictive and fault control planes register their
+            # modes on import; load them once, on demand, so
+            # reactive-only users never pay for them.  Unknown modes
+            # still fail below with the registry's full mode list.
             import repro.predict  # noqa: F401
+            if not control_mode_registered(spec.control):
+                import repro.faults  # noqa: F401
         controller = build_controller(spec.control, network=network,
                                       spec=spec, decision_log=decision_log)
+
+    injector = None
+    if spec.faults is not None:
+        from repro.faults import apply_scenario, build_scenario
+        from repro.sim.faults import LinkFaultInjector
+        scenario = build_scenario(spec.faults, spec)
+        injector = LinkFaultInjector(network, decision_log=decision_log)
+        apply_scenario(scenario, network, injector,
+                       until_ns=spec.duration_ns)
 
     if telemetry is not None:
         telemetry.attach(network)
@@ -221,6 +250,12 @@ def run_simulation(spec: SimulationSpec,
     network.attach_workload(
         workload.events(spec.inject_fraction * spec.duration_ns))
     stats = network.run(until_ns=spec.duration_ns)
+
+    faults_info = None
+    if injector is not None:
+        faults_info = {"scenario": spec.faults, **injector.digest()}
+        if hasattr(controller, "faults_summary"):
+            faults_info.update(controller.faults_summary())
 
     return SimulationSummary(
         spec=spec,
@@ -242,6 +277,7 @@ def run_simulation(spec: SimulationSpec,
         worker_pid=os.getpid(),
         predict=(controller.predict_summary()
                  if hasattr(controller, "predict_summary") else None),
+        faults=faults_info,
     )
 
 

@@ -36,6 +36,7 @@ from __future__ import annotations
 import contextlib
 import os
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
@@ -77,6 +78,11 @@ class SweepStats:
         memo_hits: Served from the in-process LRU memo.
         cache_hits: Served from the persistent disk cache.
         executed: Actually simulated this time.
+        retried: Specs re-run in-process after their worker died or
+            raised (each retried spec still counts under ``executed``
+            or ``failed``, whichever way the retry went).
+        failed: Specs that failed their retry too; they are absent
+            from the sweep's results instead of aborting it.
         wall_seconds: Harness wall-clock across the counted sweeps.
         run_seconds_total: Sum of per-run simulation wall times.
         run_seconds_max: Slowest single run.
@@ -87,6 +93,8 @@ class SweepStats:
     memo_hits: int = 0
     cache_hits: int = 0
     executed: int = 0
+    retried: int = 0
+    failed: int = 0
     wall_seconds: float = 0.0
     run_seconds_total: float = 0.0
     run_seconds_max: float = 0.0
@@ -116,6 +124,8 @@ class SweepStats:
             "memo_hits": self.memo_hits,
             "cache_hits": self.cache_hits,
             "executed": self.executed,
+            "retried": self.retried,
+            "failed": self.failed,
             "wall_seconds": self.wall_seconds,
             "run_seconds_total": self.run_seconds_total,
             "run_seconds_max": self.run_seconds_max,
@@ -129,6 +139,8 @@ class SweepStats:
         self.memo_hits += other.memo_hits
         self.cache_hits += other.cache_hits
         self.executed += other.executed
+        self.retried += other.retried
+        self.failed += other.failed
         self.wall_seconds += other.wall_seconds
         self.run_seconds_total += other.run_seconds_total
         if other.run_seconds_max > self.run_seconds_max:
@@ -142,6 +154,8 @@ class SweepStats:
             memo_hits=self.memo_hits - baseline.memo_hits,
             cache_hits=self.cache_hits - baseline.cache_hits,
             executed=self.executed - baseline.executed,
+            retried=self.retried - baseline.retried,
+            failed=self.failed - baseline.failed,
             wall_seconds=self.wall_seconds - baseline.wall_seconds,
             run_seconds_total=(self.run_seconds_total
                                - baseline.run_seconds_total),
@@ -153,7 +167,8 @@ class SweepStats:
         return SweepStats(
             submitted=self.submitted, unique=self.unique,
             memo_hits=self.memo_hits, cache_hits=self.cache_hits,
-            executed=self.executed, wall_seconds=self.wall_seconds,
+            executed=self.executed, retried=self.retried,
+            failed=self.failed, wall_seconds=self.wall_seconds,
             run_seconds_total=self.run_seconds_total,
             run_seconds_max=self.run_seconds_max,
         )
@@ -166,6 +181,11 @@ class SweepStats:
             f"{self.cache_hits} cache-hit",
             f"wall {self.wall_seconds:.2f}s",
         ]
+        if self.retried:
+            parts.insert(1, f"{self.retried} retried")
+        if self.failed:
+            parts.insert(2 if self.retried else 1,
+                         f"{self.failed} failed")
         if self.executed:
             parts.append(f"mean run {self.mean_run_seconds:.2f}s")
             parts.append(f"max run {self.run_seconds_max:.2f}s")
@@ -185,13 +205,26 @@ class SweepRunner:
         run_log: Optional JSONL path; one provenance-stamped record is
             appended per distinct spec resolved (cache hits included,
             marked ``cached: true``).
+        worker_fn: The per-spec execution callable handed to worker
+            processes (must be picklable, i.e. top-level).  ``None``
+            (the default) resolves to :func:`_execute_spec` at call
+            time; tests substitute crashing workers to exercise the
+            retry path.
+
+    A worker that dies (``SIGKILL``/OOM breaks the whole
+    ``ProcessPoolExecutor``) or raises does not abort the sweep: every
+    spec whose future failed is retried once in-process, and a spec
+    failing its retry too is counted in ``SweepStats.failed``, logged
+    to the run log as a failure record, and simply absent from the
+    returned results.
     """
 
     def __init__(self, jobs: Optional[int] = None, use_cache: bool = True,
                  cache: Optional[SweepCache] = None,
                  cache_dir: Optional[Path] = None,
                  memo_size: int = DEFAULT_MEMO_SIZE,
-                 run_log: Optional[Path] = None):
+                 run_log: Optional[Path] = None,
+                 worker_fn=None):
         self.jobs = (os.cpu_count() or 1) if jobs is None else int(jobs)
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -201,7 +234,10 @@ class SweepRunner:
             self.cache = SweepCache(cache_dir or default_cache_dir())
         else:
             self.cache = None
+        self.worker_fn = worker_fn
         self.memo = LRUCache(memo_size)
+        # (worker_fn=None resolves through _worker() per call, so
+        # monkeypatching the module-level _execute_spec still works.)
         self.stats = SweepStats()
         self.last_stats = SweepStats()
         self.run_log = Path(run_log) if run_log is not None else None
@@ -275,7 +311,9 @@ class SweepRunner:
                 misses.append(spec)
 
         simulated = set(misses)
-        for spec, summary in zip(misses, self._execute_batch(misses)):
+        for spec, summary in zip(misses, self._execute_batch(misses, batch)):
+            if summary is None:
+                continue    # failed twice; recorded via _record_failure
             batch.record_run(summary.wall_seconds)
             self._store(spec, summary)
             results[spec] = summary
@@ -283,25 +321,82 @@ class SweepRunner:
         recorder = self._recorder()
         if recorder is not None:
             for spec in ordered:
+                if spec not in results:
+                    continue    # failure records are appended inline
                 recorder.record_run(spec, results[spec],
                                     cached=spec not in simulated)
 
         batch.wall_seconds = time.perf_counter() - started
         self.stats.merge(batch)
         self.last_stats = batch
-        return {spec: results[spec] for spec in ordered}
+        return {spec: results[spec] for spec in ordered
+                if spec in results}
 
     def _execute_batch(
-            self, misses: Sequence[SimulationSpec]
-    ) -> List[SimulationSummary]:
-        """Run cache misses — across the pool when it pays, else inline."""
+            self, misses: Sequence[SimulationSpec],
+            batch: SweepStats,
+    ) -> List[Optional[SimulationSummary]]:
+        """Run cache misses — across the pool when it pays, else inline.
+
+        Positionally aligned with ``misses``; a ``None`` entry marks a
+        spec that failed execution *and* its in-process retry.  A dead
+        worker breaks the whole pool (every pending future raises
+        ``BrokenProcessPool``), so all of its victims funnel through
+        the same serial retry — the sweep completes regardless.
+        """
         if not misses:
             return []
+        worker = self._worker()
         workers = min(self.jobs, len(misses))
         if workers <= 1:
-            return [_execute_spec(spec) for spec in misses]
+            out: List[Optional[SimulationSummary]] = []
+            for spec in misses:
+                try:
+                    out.append(worker(spec))
+                except Exception as exc:
+                    out.append(self._retry_inline(spec, batch, exc))
+            return out
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_execute_spec, misses))
+            futures = [pool.submit(worker, spec)
+                       for spec in misses]
+            out = []
+            for spec, future in zip(misses, futures):
+                try:
+                    out.append(future.result())
+                except Exception as exc:
+                    out.append(self._retry_inline(spec, batch, exc))
+            return out
+
+    def _worker(self):
+        """The per-spec execution callable in effect."""
+        return self.worker_fn if self.worker_fn is not None \
+            else _execute_spec
+
+    def _retry_inline(self, spec: SimulationSpec, batch: SweepStats,
+                      exc: BaseException
+                      ) -> Optional[SimulationSummary]:
+        """One in-process retry for a spec whose worker died or raised."""
+        batch.retried += 1
+        warnings.warn(
+            f"sweep worker failed ({type(exc).__name__}: {exc}); "
+            f"retrying spec in-process", RuntimeWarning, stacklevel=3)
+        try:
+            return self._worker()(spec)
+        except Exception as retry_exc:
+            batch.failed += 1
+            warnings.warn(
+                f"sweep spec failed its in-process retry too "
+                f"({type(retry_exc).__name__}: {retry_exc}); dropping it "
+                f"from the sweep", RuntimeWarning, stacklevel=3)
+            self._record_failure(spec, retry_exc)
+            return None
+
+    def _record_failure(self, spec: SimulationSpec,
+                        error: BaseException) -> None:
+        """Append a failure record to the run log, when one is kept."""
+        recorder = self._recorder()
+        if recorder is not None:
+            recorder.record_failure(spec, error)
 
     def run_one(self, spec: SimulationSpec) -> SimulationSummary:
         """Run (or recall) a single spec through the same layers."""

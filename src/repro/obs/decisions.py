@@ -49,6 +49,19 @@ bit-for-bit):
   ramping up *late* — the reactive-penalty case prediction exists to
   eliminate, so counting these measures forecast quality in place.
 
+The fault-campaign layer (:mod:`repro.faults`) adds six codes, emitted
+with ``changed=False`` so they never perturb the transition audit
+(``transition_counts`` still sums exactly to ``reconfigurations``):
+
+- ``fault_down`` / ``fault_repair`` — the injector took a link down /
+  brought it back (the fault timeline, rendered as trace instants).
+- ``partition`` — a drop proved the usable fabric disconnected (one
+  record per distinct component signature, not per dropped packet).
+- ``gated_off`` / ``gated_wake`` — the fault-aware controller powered a
+  persistently idle-looking group fully off / woke it back up.
+- ``pinned_hold`` — gating wanted a group off but the spanning-set
+  guard pinned it at minimum-rate-on instead.
+
 The taxonomy is **closed**: :meth:`DecisionLog.record` raises
 ``ValueError`` on a reason outside :data:`REASONS` rather than silently
 counting a typo as a new category (aggregate counters keyed by
@@ -74,12 +87,24 @@ POWERED_OFF = "powered_off"
 FORECAST_RAMP_UP = "forecast_ramp_up"
 FORECAST_HOLD = "forecast_hold"
 FORECAST_MISS = "forecast_miss"
+FAULT_DOWN = "fault_down"
+FAULT_REPAIR = "fault_repair"
+PARTITION = "partition"
+GATED_OFF = "gated_off"
+GATED_WAKE = "gated_wake"
+PINNED_HOLD = "pinned_hold"
 
 #: Every legal reason code (closed set; ``DecisionLog.record`` rejects
 #: anything else).
 REASONS = (ABOVE_THRESHOLD, BELOW_THRESHOLD, REACTIVATION_PENDING,
            CLAMPED_MAX, CLAMPED_MIN, HOLD, POWERED_OFF,
-           FORECAST_RAMP_UP, FORECAST_HOLD, FORECAST_MISS)
+           FORECAST_RAMP_UP, FORECAST_HOLD, FORECAST_MISS,
+           FAULT_DOWN, FAULT_REPAIR, PARTITION,
+           GATED_OFF, GATED_WAKE, PINNED_HOLD)
+
+#: The fault-campaign subset (rendered on the trace's fault track).
+FAULT_REASONS = (FAULT_DOWN, FAULT_REPAIR, PARTITION,
+                 GATED_OFF, GATED_WAKE, PINNED_HOLD)
 
 _KNOWN_REASONS = frozenset(REASONS)
 

@@ -20,7 +20,8 @@ Hook sites and what they record:
 - :meth:`on_rate_change` (``sim.channel.Channel``) — per-channel rate
   transition counters.
 - :meth:`on_packet_forwarded` / :meth:`on_packet_blocked` /
-  :meth:`on_packet_escaped` (``sim.switch.Switch``) — routing outcomes.
+  :meth:`on_packet_escaped` / :meth:`on_packet_dropped`
+  (``sim.switch.Switch``) — routing outcomes.
 - :meth:`on_packet_delivered` / :meth:`on_message_delivered`
   (``sim.host.Host``) — delivery counters and latency histograms.
 - :meth:`finalize` (``sim.fabric.Fabric.run``) — end-of-run gauges:
@@ -64,6 +65,9 @@ class FabricProbe:
             "switch_packets_blocked", "packets blocked at the input stage")
         self._escaped = r.counter(
             "switch_packets_escaped", "packets force-enqueued by the valve")
+        self._dropped = r.counter(
+            "switch_packets_dropped",
+            "packets dropped for want of a usable route (fault runs)")
         self._delivered_packets = r.counter(
             "host_packets_delivered", "packets that reached their host")
         self._delivered_messages = r.counter(
@@ -135,6 +139,10 @@ class FabricProbe:
     def on_packet_escaped(self) -> None:
         """The escape valve force-enqueued a long-blocked packet."""
         self._escaped.inc()
+
+    def on_packet_dropped(self) -> None:
+        """A packet was gracefully dropped (no usable route)."""
+        self._dropped.inc()
 
     # -- host hooks ------------------------------------------------------
 

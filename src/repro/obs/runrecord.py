@@ -127,6 +127,31 @@ class RunRecordWriter:
             },
             "provenance": self.provenance,
         }
+        return self._append(record)
+
+    def record_failure(self, spec: SimulationSpec,
+                       error: BaseException) -> Dict[str, Any]:
+        """Append a record for a spec that failed execution and retry.
+
+        Failure records carry ``"failed": true`` and the stringified
+        error instead of metrics/decisions, so a log consumer can
+        account for every submitted spec even when some never produced
+        a summary.
+        """
+        record = {
+            "record_schema": RUN_RECORD_SCHEMA_VERSION,
+            "cache_schema": CACHE_SCHEMA_VERSION,
+            "spec": spec_to_dict(spec),
+            "spec_json": canonical_spec_json(spec),
+            "cache_key": spec_key(spec),
+            "cached": False,
+            "failed": True,
+            "error": f"{type(error).__name__}: {error}",
+            "provenance": self.provenance,
+        }
+        return self._append(record)
+
+    def _append(self, record: Dict[str, Any]) -> Dict[str, Any]:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(json.dumps(record, sort_keys=True) + "\n")

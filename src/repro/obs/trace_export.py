@@ -9,6 +9,10 @@ https://ui.perfetto.dev and ``chrome://tracing`` open directly:
   spent at a configured rate, labelled ``"<rate>Gb/s"``;
 - **epoch boundaries** appear as instant (``"i"``) events on a
   dedicated controller track;
+- **fault events** (link faults, repairs, partitions, gating and
+  pinned-hold decisions — any :data:`repro.obs.decisions.FAULT_REASONS`
+  record) appear as instants on a dedicated ``faults`` track placed
+  after the channel tracks;
 - **power samples** (when a power monitor ran) appear as counter
   (``"C"``) events, rendered by the viewers as a stacked area chart.
 
@@ -110,6 +114,22 @@ def build_trace(network, decision_log,
                 "args": {"rate_gbps": rate},
             })
 
+    from repro.obs.decisions import FAULT_REASONS
+    fault_records = [d for d in decision_log.records
+                     if d.reason in FAULT_REASONS]
+    if fault_records:
+        faults_tid = len(network.tunable_channels()) + 1
+        events.append({
+            "ph": "M", "pid": 1, "tid": faults_tid,
+            "name": "thread_name", "args": {"name": "faults"},
+        })
+        for decision in fault_records:
+            events.append({
+                "ph": "i", "pid": 1, "tid": faults_tid, "s": "t",
+                "name": f"{decision.reason}:{decision.group}",
+                "ts": _ns_to_us(decision.time_ns),
+            })
+
     for time_ns, fraction in (power_samples or []):
         events.append({
             "ph": "C", "pid": 1, "name": "power_fraction",
@@ -125,6 +145,7 @@ def build_trace(network, decision_log,
             "channels": len(network.tunable_channels()),
             "epochs": len(decision_log.epochs),
             "transitions": decision_log.transitions_recorded,
+            "fault_events": len(fault_records),
         },
     }
 

@@ -68,6 +68,12 @@ class Fabric:
         #: Optional :class:`~repro.obs.instrument.FabricProbe`; hooks in
         #: switches and hosts record through it when set.
         self.probe = None
+        #: Optional ``(packet, switch, cause) -> None`` drop handler.
+        #: When set, a packet with no usable route is handed here (and
+        #: dropped) instead of crashing the run; the fault injector
+        #: installs its accounting hook.  ``None`` keeps the strict
+        #: fail-fast behaviour.
+        self.drop_handler = None
         self._build_channels()
 
     def attach_tracer(self, tracer) -> None:
@@ -150,6 +156,14 @@ class Fabric:
     def switch_channel(self, src: int, dst: int) -> Channel:
         """The unidirectional channel from switch ``src`` to ``dst``."""
         return self._switch_channels[(src, dst)]
+
+    def switch_channel_map(self) -> Dict[Tuple[int, int], Channel]:
+        """The ``(src, dst) -> channel`` map of inter-switch channels.
+
+        A shallow copy: reachability checks and spanning-set policies
+        walk it without touching fabric internals.
+        """
+        return dict(self._switch_channels)
 
     @property
     def inter_switch_channels(self) -> List[Channel]:

@@ -10,17 +10,24 @@ the conservation properties the flow-control design guarantees:
 - **queue emptiness** — after a drain, no output queue holds packets and
   no switch holds blocked packets;
 - **byte conservation** — bytes delivered to hosts never exceed bytes
-  injected, and equal them after a drain;
+  injected, and together with gracefully dropped bytes equal them after
+  a drain;
 - **counter sanity** — per-channel byte/packet counters are consistent
   with the network totals.
+
+The module also hosts the fabric reachability primitives the fault
+layer uses to tell a *local* routing dead-end (drop and carry on) from a
+*provable* partition (:func:`reachable_switches`,
+:func:`switch_components`).
 
 Tests use it directly, and examples can call it as a self-check.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import List, TYPE_CHECKING
+from typing import List, Set, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.fabric import Fabric
@@ -99,13 +106,17 @@ def check_fabric(network: "Fabric", drained: bool = True) -> InvariantReport:
         f"{stats.bytes_injected}")
     if drained:
         report.expect(
-            stats.bytes_delivered == stats.bytes_injected,
+            stats.bytes_delivered + stats.bytes_dropped
+            == stats.bytes_injected,
             f"drained network lost bytes: injected {stats.bytes_injected}, "
-            f"delivered {stats.bytes_delivered}")
+            f"delivered {stats.bytes_delivered}, "
+            f"dropped {stats.bytes_dropped}")
         report.expect(
-            stats.messages_delivered == stats.messages_injected,
+            stats.messages_delivered + stats.messages_dropped
+            == stats.messages_injected,
             f"drained network lost messages: {stats.messages_injected} "
-            f"injected, {stats.messages_delivered} delivered")
+            f"injected, {stats.messages_delivered} delivered, "
+            f"{stats.messages_dropped} dropped")
 
     host_sent = sum(h.bytes_sent for h in network.hosts)
     host_received = sum(h.bytes_received for h in network.hosts)
@@ -118,3 +129,65 @@ def check_fabric(network: "Fabric", drained: bool = True) -> InvariantReport:
         f"stats ({stats.bytes_delivered})")
 
     return report
+
+
+# ---------------------------------------------------------------------------
+# Fabric reachability
+# ---------------------------------------------------------------------------
+
+
+def reachable_switches(network: "Fabric", start: int) -> Set[int]:
+    """Switch ids reachable from ``start`` over *usable* channels.
+
+    A directed BFS over the inter-switch channels: an edge exists from
+    ``a`` to ``b`` when the channel ``a -> b`` is powered and not
+    draining.  Faults and power-gating both act on channel pairs, so in
+    practice the usable graph stays symmetric, but the walk is directed
+    to keep the answer honest if that ever changes.
+    """
+    channels = network.switch_channel_map()
+    adjacency = {}
+    for (a, b), channel in channels.items():
+        if channel.usable:
+            adjacency.setdefault(a, []).append(b)
+    seen = {start}
+    frontier = deque([start])
+    while frontier:
+        here = frontier.popleft()
+        for there in adjacency.get(here, ()):
+            if there not in seen:
+                seen.add(there)
+                frontier.append(there)
+    return seen
+
+
+def switch_components(network: "Fabric") -> List[Tuple[int, ...]]:
+    """Connected components of the usable inter-switch graph.
+
+    Components are sorted tuples of switch ids, ordered by their
+    smallest member — a deterministic partition signature.  An edge
+    counts when *either* direction of the link is usable (the undirected
+    view; see :func:`reachable_switches` for the directed walk).
+    """
+    channels = network.switch_channel_map()
+    adjacency = {s.id: set() for s in network.switches}
+    for (a, b), channel in channels.items():
+        if channel.usable:
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+    components: List[Tuple[int, ...]] = []
+    unvisited = set(adjacency)
+    while unvisited:
+        root = min(unvisited)
+        seen = {root}
+        frontier = deque([root])
+        while frontier:
+            here = frontier.popleft()
+            for there in adjacency[here]:
+                if there not in seen:
+                    seen.add(there)
+                    frontier.append(there)
+        unvisited -= seen
+        components.append(tuple(sorted(seen)))
+    components.sort(key=lambda comp: comp[0])
+    return components

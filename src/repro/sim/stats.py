@@ -157,6 +157,10 @@ class NetworkStats:
         self.bytes_injected = 0
         self.bytes_delivered = 0
         self.escapes = 0
+        self.packets_dropped = 0
+        self.bytes_dropped = 0
+        self.messages_dropped = 0
+        self._dropped_message_ids: set = set()
 
     # -- recording -----------------------------------------------------
 
@@ -178,6 +182,20 @@ class NetworkStats:
         """Record one completed message's latency."""
         self.messages_delivered += 1
         self.message_latency.add(latency_ns)
+
+    def record_drop(self, packet) -> None:
+        """Record one dropped packet (graceful fault degradation).
+
+        The owning message is counted as dropped exactly once: a message
+        missing any packet never completes, so byte- and message-level
+        conservation becomes ``delivered + dropped == injected``.
+        """
+        self.packets_dropped += 1
+        self.bytes_dropped += packet.size_bytes
+        message_id = packet.message.id
+        if message_id not in self._dropped_message_ids:
+            self._dropped_message_ids.add(message_id)
+            self.messages_dropped += 1
 
     def finalize(self, now: float) -> None:
         """Close every accounting window at time ``now``."""

@@ -128,12 +128,21 @@ class Switch:
     # ------------------------------------------------------------------
 
     def _route(self, packet: Packet, in_channel: Channel) -> None:
-        candidates = self._candidates(packet)
+        try:
+            candidates = self._candidates(packet)
+        except RuntimeError:
+            # Routing found no powered path (restricted routing raises).
+            if self.network.drop_handler is None:
+                raise
+            candidates = []
         if not candidates:
-            raise RuntimeError(
-                f"no route from switch {self.id} for {packet!r} — "
-                "topology disconnected?"
-            )
+            if self.network.drop_handler is None:
+                raise RuntimeError(
+                    f"no route from switch {self.id} for {packet!r} — "
+                    "topology disconnected?"
+                )
+            self._drop(packet, in_channel, "unroutable")
+            return
         chosen = self._choose(candidates, packet.size_bytes)
         if chosen is not None:
             self._dispatch(packet, chosen, in_channel)
@@ -171,6 +180,19 @@ class Switch:
         if probe is not None:
             probe.on_packet_forwarded()
 
+    def _drop(self, packet: Packet, in_channel: Channel, cause: str) -> None:
+        """Gracefully drop an unroutable packet (drop handler installed).
+
+        The input buffer's credits go back upstream — a drop must not
+        leak flow-control state — before accounting and the handler run.
+        """
+        in_channel.release_credits(packet.size_bytes)
+        self.network.stats.record_drop(packet)
+        probe = self.network.probe
+        if probe is not None:
+            probe.on_packet_dropped()
+        self.network.drop_handler(packet, self, cause)
+
     def _retry_blocked(self, freed: Channel) -> None:
         still_blocked: List[_BlockedPacket] = []
         for entry in self._blocked:
@@ -198,10 +220,13 @@ class Switch:
             # stuck packet.
             live = [c for c in entry.candidates if not c.is_off]
         if not live:
-            raise RuntimeError(
-                f"switch {self.id}: all candidates powered off for "
-                f"{entry.packet!r}"
-            )
+            if self.network.drop_handler is None:
+                raise RuntimeError(
+                    f"switch {self.id}: all candidates powered off for "
+                    f"{entry.packet!r}"
+                )
+            self._drop(entry.packet, entry.in_channel, "escape")
+            return
         chosen = min(live, key=lambda c: c.queue_bytes)
         self._dispatch(entry.packet, chosen, entry.in_channel, force=True)
         self.network.stats.escapes += 1

@@ -1,0 +1,124 @@
+"""Fault-campaign determinism: the property the golden layer rests on.
+
+Fault schedules and fault-run summaries live in the run cache and in
+``tests/golden/faults.json``, so the whole fault stack must be exactly
+reproducible: same scenario seed ⇒ bit-identical compiled schedule,
+same spec ⇒ bit-identical summary digest, across repeat runs and
+across ``PYTHONHASHSEED`` values.  The scenario DSL's contract is
+checked property-style (hypothesis) over a range of seeds and Weibull
+parameters.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.cache import summary_digest
+from repro.experiments.runner import SimulationSpec, run_simulation
+from repro.faults.scenario import FaultScenario, RandomLinkFaults
+
+SRC_DIR = str(Path(__file__).resolve().parents[1] / "src")
+
+#: A small but complete fault run: link faults + stuck sensors + the
+#: pinned spanning-set controller, in a couple hundred ms.
+FAULT_SPEC = SimulationSpec(k=2, n=2, duration_ns=200_000.0,
+                            control="fault_pinned", faults="mtbf",
+                            fault_seed=5)
+
+LINKS = [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]
+
+
+class TestScheduleDeterminism:
+    def test_same_seed_compiles_identical_schedule(self):
+        a = FaultScenario(
+            name="t", seed=21,
+            random_faults=RandomLinkFaults(mtbf_ns=10_000.0,
+                                           mttr_ns=2_000.0, shape=1.5))
+        b = FaultScenario(
+            name="t", seed=21,
+            random_faults=RandomLinkFaults(mtbf_ns=10_000.0,
+                                           mttr_ns=2_000.0, shape=1.5))
+        assert (a.compile(LINKS, 500_000.0)
+                == b.compile(LINKS, 500_000.0))
+
+    def test_different_seeds_diverge(self):
+        base = dict(random_faults=RandomLinkFaults(mtbf_ns=10_000.0,
+                                                   mttr_ns=2_000.0))
+        a = FaultScenario(name="t", seed=1, **base)
+        b = FaultScenario(name="t", seed=2, **base)
+        assert a.compile(LINKS, 500_000.0) != b.compile(LINKS, 500_000.0)
+
+    def test_link_order_does_not_matter(self):
+        scenario = FaultScenario(
+            name="t", seed=4,
+            random_faults=RandomLinkFaults(mtbf_ns=10_000.0,
+                                           mttr_ns=2_000.0))
+        assert (scenario.compile(LINKS, 300_000.0)
+                == scenario.compile(list(reversed(LINKS)), 300_000.0))
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31),
+           mtbf=st.floats(min_value=1_000.0, max_value=100_000.0),
+           mttr=st.floats(min_value=0.0, max_value=20_000.0),
+           shape=st.floats(min_value=0.5, max_value=3.0))
+    def test_compile_is_pure_sorted_and_bounded(self, seed, mtbf, mttr,
+                                                shape):
+        scenario = FaultScenario(
+            name="prop", seed=seed,
+            random_faults=RandomLinkFaults(mtbf_ns=mtbf, mttr_ns=mttr,
+                                           shape=shape))
+        horizon = 400_000.0
+        events = scenario.compile(LINKS, horizon)
+        assert events == scenario.compile(LINKS, horizon)
+        times = [t for t, _, _, _ in events]
+        assert times == sorted(times)
+        for time_ns, a, b, down_ns in events:
+            assert 0.0 <= time_ns < horizon
+            assert (min(a, b), max(a, b)) in set(LINKS)
+            assert down_ns >= 0.0
+
+
+class TestFaultRunDeterminism:
+    def test_repeat_fault_runs_are_bit_identical(self):
+        first = json.dumps(summary_digest(run_simulation(FAULT_SPEC)),
+                           sort_keys=True)
+        second = json.dumps(summary_digest(run_simulation(FAULT_SPEC)),
+                            sort_keys=True)
+        assert first == second
+
+    def test_fault_seed_changes_the_outcome(self):
+        # Not vacuous determinism: a different fault seed must actually
+        # steer the run somewhere else.
+        a = summary_digest(run_simulation(FAULT_SPEC))
+        b = summary_digest(run_simulation(replace(FAULT_SPEC,
+                                                  fault_seed=6)))
+        assert a != b
+
+    def test_hash_randomization_does_not_leak_into_fault_runs(self):
+        expected = json.dumps(summary_digest(run_simulation(FAULT_SPEC)),
+                              sort_keys=True)
+        code = (
+            "import json;"
+            "from repro.experiments.cache import summary_digest;"
+            "from repro.experiments.runner import SimulationSpec,"
+            " run_simulation;"
+            "spec = SimulationSpec(k=2, n=2, duration_ns=200_000.0,"
+            " control='fault_pinned', faults='mtbf', fault_seed=5);"
+            "print(json.dumps(summary_digest(run_simulation(spec)),"
+            " sort_keys=True))"
+        )
+        for hash_seed in ("1", "987654321"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed,
+                       PYTHONPATH=SRC_DIR)
+            out = subprocess.run(
+                [sys.executable, "-c", code], env=env, check=True,
+                capture_output=True, text=True).stdout.strip()
+            assert out == expected, f"drift under PYTHONHASHSEED={hash_seed}"

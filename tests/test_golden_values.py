@@ -51,6 +51,24 @@ class TestGoldenFiles:
         frozen = golden.load(GOLDEN_DIR, "predictive")
         golden.assert_close(frozen, golden.predictive_payload())
 
+    def test_faults_campaign_digest_matches(self):
+        frozen = golden.load(GOLDEN_DIR, "faults")
+        golden.assert_close(frozen, golden.faults_payload())
+
+    def test_faults_campaign_verdict_frozen(self):
+        # The acceptance demo, spelled out: the pinned spanning set
+        # sustains the delivery floor with zero partitions on the
+        # campaign where unprotected gating observably degrades.
+        frozen = golden.load(GOLDEN_DIR, "faults")
+        assert frozen["protected_ok"] is True
+        assert frozen["degraded_detected"] is True
+        pinned = frozen["runs"]["pinned"]
+        gated = frozen["runs"]["gated"]
+        assert pinned["delivered_fraction"] >= 0.999
+        assert pinned["faults"]["partitions"] == 0
+        assert (gated["faults"]["partitions"] >= 1
+                or gated["faults"]["drop_bursts"] >= 1)
+
 
 class TestAssertClose:
     def test_accepts_tiny_float_noise(self):

@@ -274,3 +274,69 @@ class TestRunnerCacheInterplay:
         runner = SweepRunner(jobs=1, use_cache=False)
         runner.run([TINY])
         assert not (tmp_path / "unused").exists()
+
+
+class TestCorruptionQuarantine:
+    """A torn cache entry is moved aside, warned about, and re-runnable."""
+
+    def _corrupt_dir(self, tmp_path):
+        return Path(tmp_path) / "corrupt"
+
+    def test_invalid_json_is_quarantined_with_warning(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.put(TINY, run_simulation(TINY))
+        entry = cache.path_for(TINY)
+        entry.write_text("{truncated by a crash")
+        with pytest.warns(RuntimeWarning, match="invalid JSON"):
+            assert cache.get(TINY) is None
+        assert not entry.exists()
+        assert (self._corrupt_dir(tmp_path) / entry.name).exists()
+
+    def test_key_mismatch_is_quarantined(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.put(TINY, run_simulation(TINY))
+        other = replace(TINY, seed=999)
+        cache.path_for(other).write_text(cache.path_for(TINY).read_text())
+        with pytest.warns(RuntimeWarning, match="key mismatch"):
+            assert cache.get(other) is None
+        assert (self._corrupt_dir(tmp_path)
+                / cache.path_for(other).name).exists()
+
+    def test_undecodable_summary_is_quarantined(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.put(TINY, run_simulation(TINY))
+        entry = cache.path_for(TINY)
+        payload = json.loads(entry.read_text())
+        payload["summary"] = {"nonsense": True}
+        entry.write_text(json.dumps(payload))
+        with pytest.warns(RuntimeWarning, match="does not decode"):
+            assert cache.get(TINY) is None
+        assert (self._corrupt_dir(tmp_path) / entry.name).exists()
+
+    def test_schema_version_mismatch_is_a_plain_miss(self, tmp_path):
+        # Old-schema entries are normal, not corruption: no warning,
+        # no quarantine, the entry stays where it was.
+        old = SweepCache(tmp_path, schema_version=CACHE_SCHEMA_VERSION)
+        old.put(TINY, run_simulation(TINY))
+        bumped = SweepCache(tmp_path,
+                            schema_version=CACHE_SCHEMA_VERSION + 1)
+        import warnings as _warnings
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            assert bumped.get(TINY) is None
+        assert old.path_for(TINY).exists()
+        assert not self._corrupt_dir(tmp_path).exists()
+
+    def test_quarantined_spec_reruns_and_recaches(self, tmp_path):
+        # End to end: corruption costs one re-simulation, nothing else.
+        cache = SweepCache(tmp_path)
+        runner = SweepRunner(jobs=1, cache=cache)
+        first = runner.run([TINY])[TINY]
+        cache.path_for(TINY).write_text("garbage")
+        with pytest.warns(RuntimeWarning):
+            again = SweepRunner(jobs=1, cache=cache).run([TINY])[TINY]
+        assert summary_digest(again) == summary_digest(first)
+        # The re-run repopulated the entry; a third sweep is a pure hit.
+        third = SweepRunner(jobs=1, cache=cache)
+        third.run([TINY])
+        assert third.last_stats.cache_hits == 1

@@ -1,0 +1,137 @@
+"""Sweep resilience: a dying worker must never take the campaign down.
+
+Long fault campaigns hold hours of cached results, so the harness's
+contract is: a worker that is SIGKILLed (OOM killer, operator) or
+raises is retried once in-process; a spec that fails its retry too is
+counted and logged but never aborts the sweep — every other spec's
+result still comes back.  Worker functions here are module-level so
+they pickle into the process pool.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import SimulationSpec
+from repro.experiments.sweep import SweepRunner, SweepStats, _execute_spec
+from repro.obs.runrecord import read_run_log
+
+#: Env var carrying the kill-sentinel path into forked pool workers.
+_SENTINEL_ENV = "REPRO_TEST_KILL_SENTINEL"
+
+SPEC_A = SimulationSpec(k=2, n=2, duration_ns=100_000.0)
+SPEC_B = SimulationSpec(k=2, n=2, duration_ns=100_000.0, seed=3)
+
+
+def _kill_first_worker(spec):
+    """Dies hard (SIGKILL) on the first call, computes ever after."""
+    sentinel = Path(os.environ[_SENTINEL_ENV])
+    try:
+        # O_EXCL: exactly one caller wins the right to die, even if
+        # both pool workers race here.
+        fd = os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return _execute_spec(spec)
+    os.close(fd)
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _always_failing_worker(spec):
+    raise RuntimeError(f"synthetic failure for seed {spec.seed}")
+
+
+class TestWorkerDeath:
+    def test_sigkilled_worker_is_retried_and_sweep_completes(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setenv(_SENTINEL_ENV, str(tmp_path / "killed"))
+        runner = SweepRunner(jobs=2, use_cache=False,
+                             worker_fn=_kill_first_worker)
+        with pytest.warns(RuntimeWarning, match="worker failed"):
+            results = runner.run([SPEC_A, SPEC_B])
+        # The kill happened (sentinel exists), yet every result is in.
+        assert (tmp_path / "killed").exists()
+        assert set(results) == {SPEC_A, SPEC_B}
+        assert runner.last_stats.retried >= 1
+        assert runner.last_stats.failed == 0
+        for spec, summary in results.items():
+            assert summary.spec == spec
+            assert summary.delivered_fraction > 0.0
+
+    def test_sigkilled_worker_result_matches_clean_run(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setenv(_SENTINEL_ENV, str(tmp_path / "killed"))
+        from repro.experiments.cache import summary_digest
+        clean = summary_digest(_execute_spec(SPEC_A))
+        runner = SweepRunner(jobs=2, use_cache=False,
+                             worker_fn=_kill_first_worker)
+        with pytest.warns(RuntimeWarning):
+            results = runner.run([SPEC_A, SPEC_B])
+        assert summary_digest(results[SPEC_A]) == clean
+
+
+class TestPersistentFailure:
+    def test_failing_spec_is_dropped_not_fatal(self, tmp_path):
+        runner = SweepRunner(jobs=2, use_cache=False,
+                             worker_fn=_always_failing_worker)
+        with pytest.warns(RuntimeWarning, match="retry too"):
+            results = runner.run([SPEC_A, SPEC_B])
+        assert results == {}
+        assert runner.last_stats.failed == 2
+        assert runner.last_stats.retried == 2
+        assert runner.last_stats.executed == 0
+
+    def test_serial_path_has_the_same_contract(self):
+        runner = SweepRunner(jobs=1, use_cache=False,
+                             worker_fn=_always_failing_worker)
+        with pytest.warns(RuntimeWarning):
+            results = runner.run([SPEC_A])
+        assert results == {}
+        assert runner.last_stats.failed == 1
+
+    def test_failures_land_in_the_run_log(self, tmp_path):
+        log = tmp_path / "runs.jsonl"
+        runner = SweepRunner(jobs=1, use_cache=False, run_log=log,
+                             worker_fn=_always_failing_worker)
+        with pytest.warns(RuntimeWarning):
+            runner.run([SPEC_A])
+        records = read_run_log(log)
+        assert len(records) == 1
+        record = records[0]
+        assert record["failed"] is True
+        assert record["cached"] is False
+        assert "RuntimeError" in record["error"]
+        assert record["spec"]["seed"] == SPEC_A.seed
+
+    def test_mixed_sweep_keeps_the_healthy_results(
+            self, tmp_path, monkeypatch):
+        # One spec dies hard once (then succeeds), sweep still returns
+        # it alongside the spec that never failed.
+        monkeypatch.setenv(_SENTINEL_ENV, str(tmp_path / "killed"))
+        runner = SweepRunner(jobs=2, use_cache=False,
+                             worker_fn=_kill_first_worker)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            results = runner.run([SPEC_A, SPEC_B])
+        assert len(results) == 2
+
+
+class TestStatsFormatting:
+    def test_format_line_hides_zero_counters(self):
+        stats = SweepStats(submitted=4, unique=4, cache_hits=4)
+        line = stats.format_line()
+        assert "retried" not in line
+        assert "failed" not in line
+        assert "0 run" in line
+
+    def test_format_line_shows_nonzero_counters_in_order(self):
+        stats = SweepStats(submitted=4, unique=4, cache_hits=1,
+                           executed=2, retried=2, failed=1)
+        line = stats.format_line()
+        assert line.index("retried") < line.index("failed")
+        assert "2 retried" in line
+        assert "1 failed" in line
