@@ -5,14 +5,11 @@ baseline run — the phenomenon that makes independent channel control
 (Figure 7b) worth building.
 """
 
-from conftest import run_once
-
-from repro.experiments import asymmetry
+from conftest import run_scenario
 
 
 def test_asymmetry_search(benchmark, scale):
-    result = run_once(benchmark, asymmetry.run, scale=scale,
-                      workload="search")
+    result = run_scenario(benchmark, "asymmetry", scale).payload
     print("\n" + result.format_table())
     # "many traffic patterns show very asymmetric use"
     assert result.fraction_2x > 0.3

@@ -1,13 +1,12 @@
 """Ablation: energy-aware routing (Section 5.1's open problem)."""
 
-from conftest import run_once
+from conftest import run_scenario
 
-from repro.experiments import energy_aware
 from repro.power.channel_models import IdealChannelPower
 
 
 def test_energy_aware_routing(benchmark, scale):
-    result = run_once(benchmark, energy_aware.run, scale=scale)
+    result = run_scenario(benchmark, "energy-aware", scale).payload
     print("\n" + result.format_table())
 
     aware = result.runs["energy-aware"]

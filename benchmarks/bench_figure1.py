@@ -1,10 +1,10 @@
 """Figure 1: server vs network power scenarios."""
 
-from repro.experiments import figure1
+from conftest import run_scenario
 
 
 def test_figure1(benchmark):
-    result = benchmark(figure1.run)
+    result = run_scenario(benchmark, "figure1").payload
     print("\n" + result.format_table())
 
     scenarios = result.scenarios

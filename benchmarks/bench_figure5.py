@@ -1,10 +1,10 @@
 """Figure 5: switch-chip dynamic range."""
 
-from repro.experiments import figure5
+from conftest import run_scenario
 
 
 def test_figure5(benchmark):
-    result = benchmark(figure5.run)
+    result = run_scenario(benchmark, "figure5").payload
     print("\n" + result.format_table())
     assert result.profile.performance_dynamic_range == 16.0
     # Slowest optical mode at 42% of full power (the paper's anchor).

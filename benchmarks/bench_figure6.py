@@ -1,10 +1,10 @@
 """Figure 6: ITRS bandwidth trend."""
 
-from repro.experiments import figure6
+from conftest import run_scenario
 
 
 def test_figure6(benchmark):
-    result = benchmark(figure6.run)
+    result = run_scenario(benchmark, "figure6").payload
     print("\n" + result.format_table())
     assert result.series[-1].io_bandwidth_tbps == 160.0
     assert result.cagr > 0.2

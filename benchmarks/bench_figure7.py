@@ -5,13 +5,11 @@ slowest mode, and independent per-channel control spending less time at
 the fast speeds than paired control.
 """
 
-from conftest import run_once
-
-from repro.experiments import figure7
+from conftest import run_scenario
 
 
 def test_figure7(benchmark, scale):
-    result = run_once(benchmark, figure7.run, scale=scale)
+    result = run_scenario(benchmark, "figure7", scale).payload
     print("\n" + result.format_table())
 
     # "most links spend a majority of their time in the lowest

@@ -7,13 +7,11 @@ small multiple of average utilization under ideal channels, and
 independent channel control dominates paired control.
 """
 
-from conftest import run_once
-
-from repro.experiments import figure8
+from conftest import run_scenario
 
 
 def test_figure8(benchmark, scale):
-    result = run_once(benchmark, figure8.run, scale=scale)
+    result = run_scenario(benchmark, "figure8", scale).payload
     print("\n" + result.format_table())
 
     for name in ("advert", "search"):

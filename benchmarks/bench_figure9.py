@@ -6,13 +6,11 @@ Asserts the paper's shape: added latency grows with target utilization
 and grows steeply (toward milliseconds) as reactivation reaches 100 us.
 """
 
-from conftest import run_once
-
-from repro.experiments import figure9
+from conftest import run_scenario
 
 
 def test_figure9(benchmark, scale):
-    result = run_once(benchmark, figure9.run, scale=scale)
+    result = run_scenario(benchmark, "figure9", scale).payload
     print("\n" + result.format_table())
 
     for workload in result.workloads:

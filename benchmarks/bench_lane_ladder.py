@@ -5,13 +5,11 @@ while spending far less total time in reactivation stalls — the payoff
 of pricing CDR-only re-locks at ~100 ns instead of a blanket 1 us.
 """
 
-from conftest import run_once
-
-from repro.experiments import lane_ladder
+from conftest import run_scenario
 
 
 def test_lane_ladder(benchmark, scale):
-    result = run_once(benchmark, lane_ladder.run, scale=scale)
+    result = run_scenario(benchmark, "lane-ladder", scale).payload
     print("\n" + result.format_table())
 
     scalar = result.runs["scalar 1us"]

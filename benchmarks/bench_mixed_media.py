@@ -1,12 +1,10 @@
 """Ablation: packaging-aware media pricing (Section 2.2's locality)."""
 
-from conftest import run_once
-
-from repro.experiments import mixed_media
+from conftest import run_scenario
 
 
 def test_mixed_media(benchmark, scale):
-    result = run_once(benchmark, mixed_media.run, scale=scale)
+    result = run_scenario(benchmark, "mixed-media", scale).payload
     print("\n" + result.format_table())
 
     for row in result.rows_list:

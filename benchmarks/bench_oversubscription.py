@@ -1,12 +1,10 @@
 """Section 2.1.1: the over-subscription power/performance trade."""
 
-from conftest import run_once
-
-from repro.experiments import oversubscription
+from conftest import run_scenario
 
 
 def test_oversubscription(benchmark, scale):
-    result = run_once(benchmark, oversubscription.run, scale=scale)
+    result = run_scenario(benchmark, "oversubscription", scale).payload
     print("\n" + result.format_table())
 
     by_c = {}

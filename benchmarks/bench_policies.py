@@ -4,13 +4,11 @@ Compares the paper's threshold policy against aggressive, hysteresis and
 predictive variants on the Search workload with independent channels.
 """
 
-from conftest import run_once
-
-from repro.experiments import policies
+from conftest import run_scenario
 
 
 def test_policy_ablation(benchmark, scale):
-    result = run_once(benchmark, policies.run, scale=scale)
+    result = run_scenario(benchmark, "policies", scale).payload
     print("\n" + result.format_table())
 
     for summary in result.by_policy.values():

@@ -4,23 +4,22 @@ Benchmarks the `repro predict` experiment's core comparison — the
 reactive threshold controller, the EWMA predictive controller, and the
 clairvoyant oracle — on the uniform workload at three offered loads.
 Each point on the frontier is one full discrete-event run, so the
-benchmark also tracks what a predictive sweep costs run-over-run.
+benchmark also tracks what a predictive sweep costs run-over-run.  The
+batch comes from the shared suite registry (the ``predict-frontier``
+scenario), so the timing here matches the ``BENCH_suite.json`` entry.
 
 Besides the pytest-benchmark timings, this module writes a
 ``BENCH_predict.json`` artifact (into ``$REPRO_BENCH_DIR`` or the
-working directory): measured power fraction and mean/p99 latency per
-controller per load, so CI can archive how the frontier moves as the
-subsystem evolves.
+working directory) through the shared suite-schema envelope: measured
+power fraction and mean/p99 latency per controller per load, so CI can
+archive how the frontier moves as the subsystem evolves.
 """
 
-import json
-import os
 from dataclasses import replace
-from pathlib import Path
 
 import pytest
 
-from conftest import run_once
+from conftest import run_scenario
 
 from repro.experiments.runner import (
     CONTROL_ORACLE,
@@ -28,10 +27,7 @@ from repro.experiments.runner import (
     SimulationSpec,
     baseline_spec,
 )
-from repro.experiments.sweep import SweepRunner
-
-#: Directory override for the trajectory artifact.
-ARTIFACT_DIR_ENV = "REPRO_BENCH_DIR"
+from repro.obs.benchsuite import write_bench_artifact
 
 #: Offered loads the frontier is sampled at (fractions of bisection).
 LOADS = (0.05, 0.15, 0.30)
@@ -39,8 +35,8 @@ LOADS = (0.05, 0.15, 0.30)
 BASE = SimulationSpec(k=2, n=3, workload="uniform",
                       duration_ns=1_500_000.0)
 
-#: load -> controller -> point, accumulated across the benchmarks
-#: below and dumped once at module teardown.
+#: load -> controller -> point, accumulated by the benchmark below and
+#: dumped once at module teardown.
 _frontier = {}
 
 
@@ -70,31 +66,28 @@ def frontier_point(summary):
 def bench_predict_artifact():
     """Write the BENCH_predict.json frontier artifact at teardown."""
     yield
-    out_dir = Path(os.environ.get(ARTIFACT_DIR_ENV, "."))
-    out_dir.mkdir(parents=True, exist_ok=True)
-    payload = {
-        "benchmark": "predict",
+    write_bench_artifact("BENCH_predict.json", "predict", {
         "workload": BASE.workload,
         "duration_ns": BASE.duration_ns,
         "frontier": _frontier,
-    }
-    (out_dir / "BENCH_predict.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    })
 
 
-@pytest.mark.parametrize("load", LOADS)
-def test_predict_frontier(benchmark, load):
-    specs = controller_specs(load)
-    runner = SweepRunner(jobs=1, use_cache=False)
-    results = run_once(benchmark, runner.run, list(specs.values()))
-    points = {name: frontier_point(results[spec])
-              for name, spec in specs.items()}
-    _frontier[f"{load:g}"] = points
+def test_predict_frontier(benchmark):
+    run = run_scenario(benchmark, "predict-frontier")
+    results = run.payload
+    assert run.events > 0
 
-    # Sanity, not acceptance: every controlled run must save power over
-    # the full-rate baseline, and latency must stay finite.
-    for name, point in points.items():
-        if name != "baseline":
-            assert (point["measured_power_fraction"]
-                    < points["baseline"]["measured_power_fraction"])
-        assert point["mean_latency_ns"] > 0.0
+    for load in LOADS:
+        specs = controller_specs(load)
+        points = {name: frontier_point(results[spec])
+                  for name, spec in specs.items()}
+        _frontier[f"{load:g}"] = points
+
+        # Sanity, not acceptance: every controlled run must save power
+        # over the full-rate baseline, and latency must stay finite.
+        for name, point in points.items():
+            if name != "baseline":
+                assert (point["measured_power_fraction"]
+                        < points["baseline"]["measured_power_fraction"])
+            assert point["mean_latency_ns"] > 0.0

@@ -5,13 +5,11 @@ and its advantage must appear once reactivations are long enough for
 traffic to pile up behind stalled links.
 """
 
-from conftest import run_once
-
-from repro.experiments import routing_ablation
+from conftest import run_scenario
 
 
 def test_routing_ablation(benchmark, scale):
-    result = run_once(benchmark, routing_ablation.run, scale=scale)
+    result = run_scenario(benchmark, "routing-ablation", scale).payload
     print("\n" + result.format_table())
 
     for react in result.reactivations_ns:

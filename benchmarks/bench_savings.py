@@ -4,13 +4,11 @@ Paper anchors: $2.4M for a 6x reduction, $2.5M for 6.6x, and "up to
 $3M over a four-year lifetime" for topology + rate scaling combined.
 """
 
-from conftest import run_once
-
-from repro.experiments import savings
+from conftest import run_scenario
 
 
 def test_savings_projection(benchmark, scale):
-    result = run_once(benchmark, savings.run, scale=scale)
+    result = run_scenario(benchmark, "savings", scale).payload
     print("\n" + result.format_table())
 
     # The Table 1 topology savings stack ($1.6M).

@@ -4,14 +4,13 @@ The paper's claim under test: utilization alone is a sufficient demand
 estimator — richer sensors must not beat it by a meaningful margin.
 """
 
-from conftest import run_once
+from conftest import run_scenario
 
-from repro.experiments import sensors
 from repro.power.channel_models import IdealChannelPower
 
 
 def test_sensor_ablation(benchmark, scale):
-    result = run_once(benchmark, sensors.run, scale=scale)
+    result = run_scenario(benchmark, "sensors", scale).payload
     print("\n" + result.format_table())
 
     utilization = result.runs["utilization"]

@@ -2,41 +2,20 @@
 
 Not a paper figure — these track the cost of the substrate itself so
 that experiment-level benchmark movements can be attributed correctly.
+Both scenarios come from the shared suite registry, so the numbers here
+are the same ``engine-events`` / ``network-packets`` entries that land
+in ``BENCH_suite.json``.
 """
 
-from repro.sim.engine import Simulator
-from repro.sim.network import FbflyNetwork, NetworkConfig
-from repro.topology.flattened_butterfly import FlattenedButterfly
-from repro.workloads.uniform import UniformRandomWorkload
+from conftest import run_scenario
 
 
 def test_engine_event_throughput(benchmark):
-    def run_events():
-        sim = Simulator()
-        count = 20_000
-
-        def chain(remaining):
-            if remaining:
-                sim.schedule(1.0, chain, remaining - 1)
-
-        for _ in range(8):
-            sim.schedule(0.0, chain, count // 8)
-        sim.run()
-        return sim.events_fired
-
-    fired = benchmark(run_events)
-    assert fired >= 20_000
+    run = run_scenario(benchmark, "engine-events")
+    assert run.events >= 20_000
 
 
 def test_network_packet_throughput(benchmark):
-    def run_network():
-        topo = FlattenedButterfly(k=3, n=3)
-        net = FbflyNetwork(topo, NetworkConfig(seed=1))
-        wl = UniformRandomWorkload(topo.num_hosts, offered_load=0.2,
-                                   message_bytes=65536, seed=1)
-        net.attach_workload(wl.events(300_000.0))
-        stats = net.run(until_ns=300_000.0)
-        return stats
-
-    stats = benchmark(run_network)
-    assert stats.messages_delivered > 0
+    run = run_scenario(benchmark, "network-packets")
+    assert run.payload.messages_delivered > 0
+    assert run.events > 0

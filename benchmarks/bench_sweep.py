@@ -4,81 +4,77 @@ The figure benchmarks (`bench_figure7/8/9.py`) now route through the
 sweep harness implicitly; this file benchmarks the harness itself on a
 batch of small runs, demonstrating the executed-vs-cache-hit accounting
 and the warm-cache fast path that makes figure re-runs near-instant.
+The cold/warm scenarios come from the shared suite registry, so the
+timings here match the ``sweep-cold`` / ``sweep-warm`` entries in
+``BENCH_suite.json``.
 
 Besides the pytest-benchmark timings, this module writes a
 ``BENCH_sweep.json`` trajectory artifact (into ``$REPRO_BENCH_DIR`` or
-the working directory): the cold/warm sweep counters as JSON, so CI can
-archive harness performance run-over-run.
+the working directory) through the shared suite-schema envelope —
+provenance-stamped cold/warm sweep counters CI can archive run-over-run.
 """
-
-import json
-import os
-from dataclasses import replace
-from pathlib import Path
 
 import pytest
 
-from conftest import run_once
+from conftest import run_scenario
 
 from repro.experiments.cache import SweepCache, summary_digest
-from repro.experiments.runner import SimulationSpec
+from repro.experiments.scale import current_scale
 from repro.experiments.sweep import SweepRunner
-
-#: Directory override for the trajectory artifact.
-ARTIFACT_DIR_ENV = "REPRO_BENCH_DIR"
-
-BASE = SimulationSpec(k=2, n=2, duration_ns=200_000.0)
-SPECS = [replace(BASE, seed=seed) for seed in range(1, 5)]
+from repro.obs.benchsuite import get_scenario, write_bench_artifact
 
 #: Phase name -> SweepStats dict, accumulated across the benchmarks
 #: below and dumped once at module teardown.
 _trajectory = {}
 
 
+def _specs():
+    return get_scenario("sweep-cold").specs(current_scale())
+
+
 @pytest.fixture(scope="module", autouse=True)
 def bench_sweep_artifact():
     """Write the BENCH_sweep.json trajectory artifact at teardown."""
     yield
-    out_dir = Path(os.environ.get(ARTIFACT_DIR_ENV, "."))
-    out_dir.mkdir(parents=True, exist_ok=True)
-    payload = {
-        "benchmark": "sweep",
-        "specs": len(SPECS),
+    write_bench_artifact("BENCH_sweep.json", "sweep", {
+        "specs": len(_specs()),
         "phases": _trajectory,
-    }
-    (out_dir / "BENCH_sweep.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    })
 
 
-def test_sweep_cold(benchmark, tmp_path):
-    runner = SweepRunner(jobs=1, cache=SweepCache(tmp_path / "cache"))
-    results = run_once(benchmark, runner.run, SPECS)
-    print("\n[sweep cold] " + runner.last_stats.format_line())
-    _trajectory["cold"] = runner.last_stats.to_dict()
+def test_sweep_cold(benchmark):
+    run = run_scenario(benchmark, "sweep-cold")
+    stats = run.payload["stats"]
+    print("\n[sweep cold] executed=%d cache_hits=%d" %
+          (stats["executed"], stats["cache_hits"]))
+    _trajectory["cold"] = stats
 
-    assert runner.last_stats.executed == len(SPECS)
-    assert runner.last_stats.cache_hits == 0
-    assert set(results) == set(SPECS)
+    specs = _specs()
+    assert stats["executed"] == len(specs)
+    assert stats["cache_hits"] == 0
+    assert set(run.payload["results"]) == set(specs)
+    assert run.events > 0
 
 
-def test_sweep_warm_cache(benchmark, tmp_path):
-    cache_dir = tmp_path / "cache"
-    SweepRunner(jobs=1, cache=SweepCache(cache_dir)).run(SPECS)
+def test_sweep_warm_cache(benchmark):
+    run = run_scenario(benchmark, "sweep-warm")
+    stats = run.payload["stats"]
+    print("\n[sweep warm] executed=%d cache_hits=%d" %
+          (stats["executed"], stats["cache_hits"]))
+    _trajectory["warm"] = stats
 
-    # A fresh runner (cold memo) against the warm disk cache.
-    warm = SweepRunner(jobs=1, cache=SweepCache(cache_dir))
-    results = run_once(benchmark, warm.run, SPECS)
-    print("\n[sweep warm] " + warm.last_stats.format_line())
-    _trajectory["warm"] = warm.last_stats.to_dict()
-
-    assert warm.last_stats.executed == 0
-    assert warm.last_stats.cache_hits == len(SPECS)
-    assert set(results) == set(SPECS)
+    specs = _specs()
+    assert stats["executed"] == 0
+    assert stats["cache_hits"] == len(specs)
+    assert set(run.payload["results"]) == set(specs)
+    # Warm runs fire no engine events — everything comes from disk.
+    assert run.events == 0
 
 
 def test_sweep_warm_matches_cold(tmp_path):
+    specs = _specs()
     cache_dir = tmp_path / "cache"
-    cold = SweepRunner(jobs=1, cache=SweepCache(cache_dir)).run(SPECS)
-    warm = SweepRunner(jobs=1, cache=SweepCache(cache_dir)).run(SPECS)
-    for spec in SPECS:
+    cold = SweepRunner(jobs=1, cache=SweepCache(cache_dir)).run(specs)
+    warm = SweepRunner(jobs=1, cache=SweepCache(cache_dir)).run(specs)
+    for spec in specs:
         assert summary_digest(warm[spec]) == summary_digest(cold[spec])

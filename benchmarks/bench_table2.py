@@ -1,10 +1,10 @@
 """Table 2: InfiniBand data-rate ladder."""
 
-from repro.experiments import table2
+from conftest import run_scenario
 
 
 def test_table2(benchmark):
-    result = benchmark(table2.run)
+    result = run_scenario(benchmark, "table2").payload
     print("\n" + result.format_table())
     rates = {r.name: r.gbps for r in result.rates}
     assert rates["4x QDR"] == 40.0

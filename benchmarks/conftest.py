@@ -2,9 +2,10 @@
 
 Each ``bench_*.py`` file regenerates one table or figure of the paper
 (plus ablations), wrapped in pytest-benchmark so the cost of every
-experiment is tracked run-over-run.  Simulation experiments execute once
-per benchmark (``rounds=1``) — they are full discrete-event runs, not
-microbenchmarks — while the analytic tables use normal timing loops.
+experiment is tracked run-over-run.  Every file routes through the
+shared scenario registry in :mod:`repro.obs.benchsuite` — the same
+scenarios ``repro perf run`` executes — so the pytest benchmarks and
+the ``BENCH_suite.json`` artifact can never drift apart.
 
 Scale comes from ``REPRO_SCALE`` (small | medium | paper), as everywhere
 else.  Results print with ``pytest benchmarks/ --benchmark-only``.
@@ -15,6 +16,7 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments.scale import current_scale
+from repro.obs.benchsuite import get_scenario
 
 
 @pytest.fixture(scope="session")
@@ -23,6 +25,23 @@ def scale():
 
 
 def run_once(benchmark, fn, *args, **kwargs):
-    """Benchmark a heavyweight experiment with a single execution."""
+    """Benchmark a heavyweight callable with a single execution."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs,
                               rounds=1, iterations=1, warmup_rounds=0)
+
+
+def run_scenario(benchmark, name, scale=None, jobs=None):
+    """Benchmark one registered suite scenario; returns its ScenarioRun.
+
+    The scenario's own warmup/repeat policy drives pytest-benchmark's
+    rounds.  ``jobs=None`` keeps the cpu-count sweep workers the bench
+    files always used (the ``repro perf run`` CLI pins 1 worker for
+    stable timing; here wall clock matters less than turnaround).
+    """
+    scenario = get_scenario(name)
+    if scale is None:
+        scale = current_scale()
+    return benchmark.pedantic(
+        scenario.execute, args=(scale,), kwargs={"jobs": jobs},
+        rounds=scenario.repeats, iterations=1,
+        warmup_rounds=scenario.warmup)

@@ -167,6 +167,12 @@ class SimulationSummary:
     #: bursts, partitions, gating counters) — ``None`` for healthy
     #: runs, and likewise elided from cache encodings.
     faults: Optional[Dict] = None
+    #: Wall-clock profiling digest (per-phase time shares, events/sec,
+    #: sim-ns-per-wall-second — see
+    #: :meth:`repro.obs.profiling.PerfProfiler.report`) — ``None``
+    #: unless a profiler was attached.  Host-measured, so it is elided
+    #: from cache encodings and stripped from determinism digests.
+    perf: Optional[Dict] = None
 
 
 def _build_epoch_controller(network, spec, decision_log):
@@ -278,6 +284,9 @@ def run_simulation(spec: SimulationSpec,
         predict=(controller.predict_summary()
                  if hasattr(controller, "predict_summary") else None),
         faults=faults_info,
+        perf=(telemetry.profiler.report()
+              if telemetry is not None and telemetry.profiler is not None
+              else None),
     )
 
 

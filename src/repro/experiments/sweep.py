@@ -86,6 +86,9 @@ class SweepStats:
         wall_seconds: Harness wall-clock across the counted sweeps.
         run_seconds_total: Sum of per-run simulation wall times.
         run_seconds_max: Slowest single run.
+        events_fired: Engine events executed by the runs simulated this
+            time (cache hits contribute nothing — their events were
+            paid for by whoever populated the cache).
     """
 
     submitted: int = 0
@@ -98,11 +101,14 @@ class SweepStats:
     wall_seconds: float = 0.0
     run_seconds_total: float = 0.0
     run_seconds_max: float = 0.0
+    events_fired: int = 0
 
-    def record_run(self, seconds: float) -> None:
-        """Count one executed simulation taking ``seconds`` of wall time."""
+    def record_run(self, seconds: float, events: int = 0) -> None:
+        """Count one executed simulation taking ``seconds`` of wall time
+        and firing ``events`` engine events."""
         self.executed += 1
         self.run_seconds_total += seconds
+        self.events_fired += events
         if seconds > self.run_seconds_max:
             self.run_seconds_max = seconds
 
@@ -130,6 +136,7 @@ class SweepStats:
             "run_seconds_total": self.run_seconds_total,
             "run_seconds_max": self.run_seconds_max,
             "mean_run_seconds": self.mean_run_seconds,
+            "events_fired": self.events_fired,
         }
 
     def merge(self, other: "SweepStats") -> None:
@@ -143,6 +150,7 @@ class SweepStats:
         self.failed += other.failed
         self.wall_seconds += other.wall_seconds
         self.run_seconds_total += other.run_seconds_total
+        self.events_fired += other.events_fired
         if other.run_seconds_max > self.run_seconds_max:
             self.run_seconds_max = other.run_seconds_max
 
@@ -160,6 +168,7 @@ class SweepStats:
             run_seconds_total=(self.run_seconds_total
                                - baseline.run_seconds_total),
             run_seconds_max=self.run_seconds_max,
+            events_fired=self.events_fired - baseline.events_fired,
         )
 
     def snapshot(self) -> "SweepStats":
@@ -171,6 +180,7 @@ class SweepStats:
             failed=self.failed, wall_seconds=self.wall_seconds,
             run_seconds_total=self.run_seconds_total,
             run_seconds_max=self.run_seconds_max,
+            events_fired=self.events_fired,
         )
 
     def format_line(self) -> str:
@@ -314,7 +324,7 @@ class SweepRunner:
         for spec, summary in zip(misses, self._execute_batch(misses, batch)):
             if summary is None:
                 continue    # failed twice; recorded via _record_failure
-            batch.record_run(summary.wall_seconds)
+            batch.record_run(summary.wall_seconds, summary.events_fired)
             self._store(spec, summary)
             results[spec] = summary
 

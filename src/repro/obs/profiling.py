@@ -1,0 +1,263 @@
+"""Phase-scoped wall-clock profiling of the simulation hot path.
+
+Answers the question the simulated-time telemetry cannot: where does
+*wall-clock* time go when the engine runs?  A :class:`PerfProfiler`
+attaches to the event engine with the same zero-cost ``is None`` probe
+idiom as :class:`~repro.obs.instrument.FabricProbe` — detached, every
+hook site is a single ``is None`` check; attached, each fired event is
+timed with ``time.perf_counter`` and attributed to a **phase** by the
+callback that ran:
+
+==============  ====================================================
+phase           event callbacks
+==============  ====================================================
+``routing``     switch arrival, route decision, blocked-packet
+                retry and the escape valve (``Switch.*``)
+``channel``     serializer completions, credit returns and
+                reactivation re-locks (``Channel.*``)
+``host``        NIC packetization/reassembly (``Host.*``)
+``workload``    workload injection events (``Fabric.*``)
+``control``     controller epoch decisions (``*Controller.*``,
+                including the predictive and fault-aware planes)
+``faults``      fault-schedule application: link down/up and
+                deferred power-off polls (``LinkFaultInjector.*``)
+``monitor``     power/congestion sampling daemons (``*Monitor.*``)
+``other``       anything else (should stay ~empty)
+==============  ====================================================
+
+Classification happens once per underlying function object (bound
+methods share their ``__func__``), so the steady-state cost per event is
+two ``perf_counter`` calls and one dict lookup.
+
+The profiler also keeps a sparse series of ``(sim_ns, wall_seconds,
+events_fired)`` checkpoints (one every :attr:`sample_every` events) so
+the Perfetto trace export can render a wall-time counter track aligned
+with the simulated-time timeline (see
+:func:`repro.obs.trace_export.build_trace`).
+
+Observation must not perturb the simulation: the profiler never
+schedules events and never touches an RNG, so a profiled run's summary
+digest is byte-identical to an unprofiled one
+(``tests/test_perf_profiling.py`` enforces this).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Schema stamp of :meth:`PerfProfiler.report` payloads (the
+#: ``SimulationSummary.perf`` layout); bump on any field change.
+PERF_SCHEMA_VERSION = 1
+
+#: Phase names in reporting order.
+PHASES = ("routing", "channel", "host", "workload", "control",
+          "faults", "monitor", "other")
+
+#: ``__qualname__`` class prefixes -> phase.  Scanned in order; the
+#: first prefix match wins, unmatched callbacks land in ``other``.
+_QUALNAME_PHASES: Tuple[Tuple[str, str], ...] = (
+    ("Switch.", "routing"),
+    ("Channel.", "channel"),
+    ("Host.", "host"),
+    ("Fabric.", "workload"),
+    ("LinkFaultInjector.", "faults"),
+)
+
+#: Class-name *substrings* tried after the exact prefixes, so subclasses
+#: (PredictiveEpochController, FaultAwareEpochController, custom
+#: monitors) classify without enumeration.
+_QUALNAME_FALLBACKS: Tuple[Tuple[str, str], ...] = (
+    ("Controller", "control"),
+    ("Monitor", "monitor"),
+    ("FaultInjector", "faults"),
+    ("Injector", "faults"),
+    ("Workload", "workload"),
+)
+
+
+def classify_callback(fn: Any) -> str:
+    """The phase an event callback belongs to (see module table)."""
+    qualname = getattr(fn, "__qualname__", "")
+    for prefix, phase in _QUALNAME_PHASES:
+        if qualname.startswith(prefix):
+            return phase
+    owner = qualname.split(".", 1)[0]
+    for needle, phase in _QUALNAME_FALLBACKS:
+        if needle in owner:
+            return phase
+    return "other"
+
+
+class PerfProfiler:
+    """Wall-clock profiler for one simulation run.
+
+    Attach through :meth:`attach` (or a
+    :class:`~repro.obs.session.Telemetry` bundle built with
+    ``profile=True``); the engine then times every fired event.  After
+    the run, :meth:`report` yields the JSON-safe digest that
+    :func:`~repro.experiments.runner.run_simulation` surfaces as
+    ``SimulationSummary.perf``.
+
+    Args:
+        sample_every: Checkpoint the ``(sim_ns, wall_s, events)``
+            series every this many events (the Perfetto wall-time
+            track's resolution).  ``0`` disables sampling.
+    """
+
+    def __init__(self, sample_every: int = 2048):
+        if sample_every < 0:
+            raise ValueError(
+                f"sample_every must be >= 0, got {sample_every}")
+        self.sample_every = sample_every
+        self.network = None
+        self.phase_seconds: Dict[str, float] = {p: 0.0 for p in PHASES}
+        self.phase_events: Dict[str, int] = {p: 0 for p in PHASES}
+        #: ``(sim_ns, cumulative wall seconds, events fired)`` series.
+        self.samples: List[Tuple[float, float, int]] = []
+        self._phase_of: Dict[Any, str] = {}
+        self._events_seen = 0
+        self._callback_seconds = 0.0
+        self._run_started: Optional[float] = None
+        self._run_seconds = 0.0
+        self._sim_start_ns = 0.0
+        self._sim_end_ns = 0.0
+
+    # -- wiring ----------------------------------------------------------
+
+    def attach(self, network) -> None:
+        """Wire this profiler into ``network``'s event engine."""
+        if network.sim.profiler is not None:
+            raise RuntimeError("engine already has a profiler attached")
+        self.network = network
+        network.sim.profiler = self
+
+    # -- engine hooks ----------------------------------------------------
+
+    def begin_run(self, network) -> None:
+        """The fabric is about to enter its event loop."""
+        self._sim_start_ns = network.sim.now
+        self._run_started = perf_counter()
+
+    def on_event_timed(self, event, seconds: float) -> None:
+        """One engine event executed, taking ``seconds`` of wall time."""
+        fn = getattr(event.fn, "__func__", event.fn)
+        phase = self._phase_of.get(fn)
+        if phase is None:
+            phase = classify_callback(fn)
+            self._phase_of[fn] = phase
+        self.phase_seconds[phase] += seconds
+        self.phase_events[phase] += 1
+        self._callback_seconds += seconds
+        self._events_seen += 1
+        if self.sample_every and self._events_seen % self.sample_every == 0:
+            self._checkpoint()
+
+    def finalize_run(self, network) -> None:
+        """The fabric's event loop drained; close the timing window."""
+        if self._run_started is not None:
+            self._run_seconds += perf_counter() - self._run_started
+            self._run_started = None
+        self._sim_end_ns = network.sim.now
+        self._checkpoint()
+
+    def _checkpoint(self) -> None:
+        if self.network is None:
+            return
+        wall = self._run_seconds
+        if self._run_started is not None:
+            wall += perf_counter() - self._run_started
+        self.samples.append(
+            (self.network.sim.now, wall, self._events_seen))
+
+    # -- reporting -------------------------------------------------------
+
+    @property
+    def events_fired(self) -> int:
+        """Events timed so far."""
+        return self._events_seen
+
+    @property
+    def wall_seconds(self) -> float:
+        """Wall-clock spent inside the event loop (dispatch included)."""
+        if self._run_started is not None:
+            return self._run_seconds + (perf_counter() - self._run_started)
+        return self._run_seconds
+
+    @property
+    def callback_seconds(self) -> float:
+        """Wall-clock spent inside event callbacks (phases summed)."""
+        return self._callback_seconds
+
+    @property
+    def dispatch_seconds(self) -> float:
+        """Engine overhead: heap pops, bookkeeping, the timing itself."""
+        return max(0.0, self.wall_seconds - self._callback_seconds)
+
+    def events_per_second(self) -> float:
+        """Engine throughput over the run's event-loop wall time."""
+        wall = self.wall_seconds
+        return self._events_seen / wall if wall > 0 else 0.0
+
+    def sim_ns_per_wall_second(self) -> float:
+        """Simulated nanoseconds advanced per wall-clock second."""
+        wall = self.wall_seconds
+        if wall <= 0:
+            return 0.0
+        return (self._sim_end_ns - self._sim_start_ns) / wall
+
+    def phase_shares(self) -> Dict[str, float]:
+        """Each phase's fraction of total callback time (sums to ~1)."""
+        total = self._callback_seconds
+        if total <= 0:
+            return {phase: 0.0 for phase in PHASES}
+        return {phase: self.phase_seconds[phase] / total
+                for phase in PHASES}
+
+    def report(self) -> Dict[str, Any]:
+        """The JSON-safe profiling digest (``SimulationSummary.perf``).
+
+        Wall-clock numbers measure the host, not the simulation, so
+        this payload is excluded from determinism digests and golden
+        comparisons (see
+        :func:`repro.experiments.cache.summary_digest`).
+        """
+        shares = self.phase_shares()
+        return {
+            "perf_schema": PERF_SCHEMA_VERSION,
+            "events_fired": self._events_seen,
+            "wall_seconds": self.wall_seconds,
+            "callback_seconds": self._callback_seconds,
+            "dispatch_seconds": self.dispatch_seconds,
+            "events_per_sec": self.events_per_second(),
+            "sim_ns": self._sim_end_ns - self._sim_start_ns,
+            "sim_ns_per_wall_second": self.sim_ns_per_wall_second(),
+            "phases": {
+                phase: {
+                    "events": self.phase_events[phase],
+                    "seconds": self.phase_seconds[phase],
+                    "share": shares[phase],
+                }
+                for phase in PHASES
+            },
+        }
+
+    def format_table(self) -> str:
+        """A human-readable phase breakdown for the CLI."""
+        report = self.report()
+        lines = [
+            f"events fired        {report['events_fired']:>14,d}",
+            f"wall seconds        {report['wall_seconds']:>14.3f}",
+            f"events/sec          {report['events_per_sec']:>14,.0f}",
+            f"sim ns per wall s   {report['sim_ns_per_wall_second']:>14,.0f}",
+            f"dispatch overhead   {report['dispatch_seconds']:>14.3f}s",
+            "",
+            f"{'phase':<10s} {'events':>12s} {'seconds':>10s} {'share':>7s}",
+        ]
+        for phase in PHASES:
+            row = report["phases"][phase]
+            if not row["events"] and row["seconds"] == 0.0:
+                continue
+            lines.append(f"{phase:<10s} {row['events']:>12,d} "
+                         f"{row['seconds']:>10.4f} {row['share']:>6.1%}")
+        return "\n".join(lines)

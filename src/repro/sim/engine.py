@@ -15,6 +15,7 @@ standard library.
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Any, Callable, Optional
 
 
@@ -60,6 +61,10 @@ class Simulator:
         #: :class:`repro.obs.instrument.FabricProbe`); the hook costs a
         #: single ``is None`` check per event when unset.
         self.observer = None
+        #: Optional :class:`repro.obs.profiling.PerfProfiler`; when set,
+        #: every fired event is wall-clock timed and attributed to a
+        #: hot-path phase.  Unset, the hook is one ``is None`` check.
+        self.profiler = None
 
     @property
     def now(self) -> float:
@@ -114,7 +119,12 @@ class Simulator:
             self._live_events -= 1
         if self.observer is not None:
             self.observer.on_event_fired(event)
-        event.fn(*event.args)
+        if self.profiler is None:
+            event.fn(*event.args)
+        else:
+            started = perf_counter()
+            event.fn(*event.args)
+            self.profiler.on_event_timed(event, perf_counter() - started)
 
     def step(self) -> bool:
         """Run the next event.  Returns False when the queue is empty."""

@@ -1,0 +1,291 @@
+"""The unified benchmark suite: registry, schema, compare, history.
+
+Covers the contract behind ``repro perf run`` / ``repro perf compare``:
+the scenario registry spans every CLI experiment, suite documents are
+schema-versioned and provenance-stamped with deterministic spec
+digests, and the tolerance-band comparator verdicts and exit codes
+behave — including exiting nonzero on an injected synthetic
+regression, the gate every kernel PR relies on.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+from repro.experiments.scale import SCALES
+from repro.obs import benchsuite
+from repro.obs.benchsuite import (
+    DEFAULT_TOLERANCE,
+    SUITE_SCHEMA_VERSION,
+    Scenario,
+    append_history,
+    compare_suites,
+    get_scenario,
+    read_suite,
+    registered_scenarios,
+    run_scenario_timed,
+    run_suite,
+    spec_digests,
+    validate_suite,
+    write_suite,
+)
+
+SCALE = SCALES["small"]
+
+
+class TestRegistry:
+    def test_every_experiment_is_a_scenario(self):
+        names = set(registered_scenarios())
+        assert set(EXPERIMENTS) <= names
+
+    def test_micro_and_harness_scenarios_present(self):
+        names = set(registered_scenarios())
+        assert {"engine-events", "network-packets", "sweep-cold",
+                "sweep-warm", "predict-frontier"} <= names
+
+    def test_quick_subset_nonempty_and_marked(self):
+        quick = [n for n in registered_scenarios()
+                 if get_scenario(n).quick]
+        assert quick
+        assert "engine-events" in quick
+
+    def test_unknown_scenario_is_an_error(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            get_scenario("no-such-scenario")
+
+    def test_duplicate_registration_is_an_error(self):
+        name = registered_scenarios()[0]
+        with pytest.raises(ValueError, match="already registered"):
+            benchsuite.register_scenario(Scenario(
+                name=name, kind="micro", description="dup",
+                execute=lambda scale, jobs=1: None))
+
+
+class TestSpecDigests:
+    def test_digests_are_deterministic(self):
+        scenario = get_scenario("sweep-cold")
+        first = spec_digests(scenario, SCALE)
+        second = spec_digests(scenario, SCALE)
+        assert first == second
+        assert len(first) == len(set(first))
+        for digest in first:
+            int(digest, 16)   # hex content hash
+
+    def test_experiments_have_no_spec_digests(self):
+        assert spec_digests(get_scenario("table1"), SCALE) is None
+
+
+class TestSuiteRun:
+    @pytest.fixture(scope="class")
+    def doc(self):
+        return run_suite(names=["engine-events", "table2"], scale=SCALE,
+                         repeats=2, warmup=0)
+
+    def test_document_validates(self, doc):
+        assert validate_suite(doc) == []
+        assert doc["suite_schema"] == SUITE_SCHEMA_VERSION
+        assert doc["provenance"]["git_sha"]
+        assert doc["scale"] == "small"
+
+    def test_policy_override_applied(self, doc):
+        for entry in doc["scenarios"].values():
+            assert entry["repeats"] == 2
+            assert entry["warmup"] == 0
+            assert len(entry["repeat_seconds"]) == 2
+
+    def test_events_per_sec_present_for_micro(self, doc):
+        entry = doc["scenarios"]["engine-events"]
+        assert entry["events"] >= 20_000
+        assert entry["events_per_sec"] > 0
+
+    def test_roundtrip_through_disk(self, doc, tmp_path):
+        path = write_suite(doc, tmp_path / "BENCH_suite.json")
+        assert read_suite(path) == doc
+
+    def test_run_scenario_timed_rejects_zero_repeats(self):
+        with pytest.raises(ValueError, match="repeats"):
+            run_scenario_timed(get_scenario("table2"), SCALE, repeats=0)
+
+
+class TestValidate:
+    def test_rejects_non_object(self):
+        assert validate_suite([]) != []
+
+    def test_rejects_wrong_schema_version(self):
+        doc = run_suite(names=["table2"], scale=SCALE,
+                        repeats=1, warmup=0)
+        bad = copy.deepcopy(doc)
+        bad["suite_schema"] = 999
+        assert any("suite_schema" in p for p in validate_suite(bad))
+
+    def test_rejects_empty_scenarios(self):
+        doc = run_suite(names=["table2"], scale=SCALE,
+                        repeats=1, warmup=0)
+        bad = copy.deepcopy(doc)
+        bad["scenarios"] = {}
+        assert validate_suite(bad) != []
+
+    def test_read_suite_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            read_suite(path)
+
+
+def _doc(medians, tolerance=DEFAULT_TOLERANCE):
+    return {
+        "suite_schema": SUITE_SCHEMA_VERSION,
+        "kind": "suite",
+        "quick": False,
+        "scale": "small",
+        "provenance": {"git_sha": "test"},
+        "scenarios": {
+            name: {
+                "kind": "micro", "description": name, "quick": True,
+                "tolerance": tolerance, "warmup": 0, "repeats": 1,
+                "repeat_seconds": [seconds], "median_seconds": seconds,
+                "iqr_seconds": 0.0, "events": 100,
+                "events_per_sec": 100 / seconds, "sim_ns": None,
+                "sim_ns_per_wall_second": None, "spec_digests": None,
+            }
+            for name, seconds in medians.items()
+        },
+    }
+
+
+class TestCompare:
+    def test_within_band(self):
+        result = compare_suites(_doc({"a": 1.0}), _doc({"a": 1.1}))
+        [comparison] = result.scenarios
+        assert comparison.verdict == "within_band"
+        assert result.ok
+
+    def test_regressed(self):
+        result = compare_suites(_doc({"a": 1.0}), _doc({"a": 1.5}))
+        [comparison] = result.scenarios
+        assert comparison.verdict == "regressed"
+        assert not result.ok
+        assert result.regressions == [comparison]
+
+    def test_improved(self):
+        result = compare_suites(_doc({"a": 1.0}), _doc({"a": 0.5}))
+        [comparison] = result.scenarios
+        assert comparison.verdict == "improved"
+        assert result.ok
+
+    def test_tolerance_band_travels_with_baseline(self):
+        baseline = _doc({"a": 1.0}, tolerance=0.05)
+        result = compare_suites(baseline, _doc({"a": 1.1}))
+        assert not result.ok
+
+    def test_explicit_tolerance_overrides_baseline(self):
+        baseline = _doc({"a": 1.0}, tolerance=0.05)
+        result = compare_suites(baseline, _doc({"a": 1.1}),
+                                tolerance=0.5)
+        assert result.ok
+
+    def test_microsecond_noise_never_regresses(self):
+        # 3x slower in ratio terms, but only ~70us in absolute terms:
+        # below MIN_DELTA_SECONDS the verdict must stay within_band.
+        result = compare_suites(_doc({"a": 0.000034}),
+                                _doc({"a": 0.000105}))
+        [comparison] = result.scenarios
+        assert comparison.verdict == "within_band"
+        assert result.ok
+
+    def test_microsecond_noise_never_improves(self):
+        result = compare_suites(_doc({"a": 0.000105}),
+                                _doc({"a": 0.000034}))
+        [comparison] = result.scenarios
+        assert comparison.verdict == "within_band"
+
+    def test_one_sided_scenarios_never_fail(self):
+        result = compare_suites(_doc({"a": 1.0, "b": 1.0}),
+                                _doc({"a": 1.0, "c": 1.0}))
+        verdicts = {c.name: c.verdict for c in result.scenarios}
+        assert verdicts == {"a": "within_band",
+                            "b": "missing_candidate",
+                            "c": "new_scenario"}
+        assert result.ok
+
+    def test_format_lines_summarize(self):
+        result = compare_suites(_doc({"a": 1.0}), _doc({"a": 2.0}))
+        lines = result.format_lines()
+        assert any("regressed" in line for line in lines)
+        assert "1 regressed" in lines[-1]
+
+
+class TestHistory:
+    def test_append_accumulates_jsonl(self, tmp_path):
+        doc = _doc({"a": 1.0})
+        path = tmp_path / "history.jsonl"
+        append_history(path, doc)
+        append_history(path, doc)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        entry = json.loads(lines[0])
+        assert entry["git_sha"] == "test"
+        assert entry["scenarios"]["a"]["median_seconds"] == 1.0
+
+
+class TestCli:
+    def test_perf_run_writes_document(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_suite.json"
+        history = tmp_path / "history.jsonl"
+        code = main(["perf", "run", "table2", "engine-events",
+                     "--out", str(out), "--repeats", "1",
+                     "--warmup", "0", "--history", str(history)])
+        assert code == 0
+        doc = read_suite(out)
+        assert sorted(doc["scenarios"]) == ["engine-events", "table2"]
+        assert len(history.read_text().splitlines()) == 1
+
+    def test_perf_compare_flags_synthetic_regression(self, tmp_path,
+                                                     capsys):
+        baseline = tmp_path / "baseline.json"
+        candidate = tmp_path / "candidate.json"
+        write_suite(_doc({"a": 1.0}), baseline)
+        write_suite(_doc({"a": 10.0}), candidate)
+        assert main(["perf", "compare", "--baseline", str(baseline),
+                     str(candidate)]) == 1
+        assert "PERF REGRESSION" in capsys.readouterr().out
+
+    def test_perf_compare_warn_only_exits_zero(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        candidate = tmp_path / "candidate.json"
+        write_suite(_doc({"a": 1.0}), baseline)
+        write_suite(_doc({"a": 10.0}), candidate)
+        assert main(["perf", "compare", "--baseline", str(baseline),
+                     str(candidate), "--warn-only"]) == 0
+
+    def test_perf_compare_clean_exits_zero(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        write_suite(_doc({"a": 1.0}), baseline)
+        assert main(["perf", "compare", "--baseline", str(baseline),
+                     str(baseline)]) == 0
+
+    def test_perf_compare_missing_baseline_is_user_error(self, tmp_path,
+                                                         capsys):
+        assert main(["perf", "compare", "--baseline",
+                     str(tmp_path / "nope.json"),
+                     str(tmp_path / "nope.json")]) == 1
+
+    def test_perf_list_names_scenarios(self, capsys):
+        assert main(["perf", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "engine-events" in out
+        assert "figure7" in out
+
+    def test_perf_profile_prints_phase_table(self, tmp_path, capsys):
+        report_path = tmp_path / "perf.json"
+        code = main(["perf", "profile", "--k", "2", "--n", "2",
+                     "--duration-ns", "150000",
+                     "--json", str(report_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "events fired" in out
+        report = json.loads(report_path.read_text())
+        assert report["events_fired"] > 0
+        assert report["spec"]["k"] == 2
