@@ -4,7 +4,7 @@
 PY := PYTHONPATH=src python
 JOBS ?= 4
 
-.PHONY: test bench perf perf-quick perf-baseline smoke-sweep \
+.PHONY: test bench perf perf-quick perf-baseline smoke-sweep chaos \
 	golden-refresh clean-cache
 
 test:            ## tier-1 test suite
@@ -29,6 +29,9 @@ perf-baseline:   ## deliberately refresh the committed BENCH_suite.json
 
 smoke-sweep:     ## quick parallel sweep: figure 7 with 2 workers
 	$(PY) -m repro figure7 --jobs 2
+
+chaos:           ## control-plane chaos campaign, gated on the SLO verdict
+	$(PY) -m repro chaos --compare --jobs $(JOBS)
 
 golden-refresh:  ## deliberately regenerate tests/golden/*.json
 	$(PY) -m repro golden-refresh --no-cache

@@ -17,6 +17,7 @@ Usage::
     python -m repro predictive                     # forecaster sweep
     python -m repro predict --forecaster ewma --oracle
     python -m repro faults --compare               # fault campaign verdict
+    python -m repro chaos --compare                # control-plane chaos SLOs
 
 Simulation-backed experiments honour ``--scale`` (equivalent to the
 ``REPRO_SCALE`` environment variable); analytic ones ignore it.  Their
@@ -48,6 +49,7 @@ from repro.experiments import (
     golden,
     sweep,
     asymmetry,
+    chaos,
     dynamic_topology,
     energy_aware,
     lane_ladder,
@@ -108,6 +110,8 @@ EXPERIMENTS: Dict[str, tuple] = {
     "fault-tolerance": ("seeded fault campaign: gated vs pinned "
                         "spanning-set availability", True,
                         fault_tolerance.run),
+    "chaos-campaign": ("control-plane chaos sweep: failsafe SLOs vs "
+                       "unprotected degradation", True, chaos.run),
 }
 
 
@@ -157,6 +161,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="append one provenance-stamped JSONL run record per "
              "resolved spec (cache hits marked cached:true); inspect "
              "with 'python -m repro obs summarize PATH'",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="in-process retry budget per failed sweep spec, with "
+             "seeded exponential backoff (default: $REPRO_RETRIES "
+             "or 1)",
     )
     parser.add_argument(
         "--stats-json", type=Path, default=None, metavar="PATH",
@@ -436,6 +446,10 @@ def build_predict_parser() -> argparse.ArgumentParser:
         "--run-log", type=Path, default=None, metavar="PATH",
         help="append one provenance-stamped JSONL run record per "
              "resolved spec")
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="in-process retry budget per failed sweep spec "
+             "(default: $REPRO_RETRIES or 1)")
     return parser
 
 
@@ -443,7 +457,8 @@ def predict_main(argv) -> int:
     """Entry point for ``python -m repro predict ...``."""
     args = build_predict_parser().parse_args(argv)
     sweep.configure(jobs=args.jobs, use_cache=not args.no_cache,
-                    cache_dir=args.cache_dir, run_log=args.run_log)
+                    cache_dir=args.cache_dir, run_log=args.run_log,
+                    retries=args.retries)
     scale = SCALES[args.scale] if args.scale else current_scale()
     try:
         result = predictive.run(
@@ -500,6 +515,10 @@ def build_faults_parser() -> argparse.ArgumentParser:
         "--run-log", type=Path, default=None, metavar="PATH",
         help="append one provenance-stamped JSONL run record per "
              "resolved spec")
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="in-process retry budget per failed sweep spec "
+             "(default: $REPRO_RETRIES or 1)")
     return parser
 
 
@@ -507,7 +526,8 @@ def faults_main(argv) -> int:
     """Entry point for ``python -m repro faults ...``."""
     args = build_faults_parser().parse_args(argv)
     sweep.configure(jobs=args.jobs, use_cache=not args.no_cache,
-                    cache_dir=args.cache_dir, run_log=args.run_log)
+                    cache_dir=args.cache_dir, run_log=args.run_log,
+                    retries=args.retries)
     before = sweep.active_runner().stats.snapshot()
     try:
         result = fault_tolerance.run(
@@ -526,6 +546,84 @@ def faults_main(argv) -> int:
     if args.compare:
         return 0 if (result.protected_ok
                      and result.degraded_detected) else 1
+    return 0
+
+
+def build_chaos_parser() -> argparse.ArgumentParser:
+    """Construct the parser for the ``chaos`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="Run the control-plane chaos campaign: a fault-free "
+                    "reference plus unprotected and failsafe arms across "
+                    "three chaos intensities (telemetry loss, lost "
+                    "actuations, controller crashes), with an SLO "
+                    "verdict against the reference.",
+    )
+    parser.add_argument(
+        "--compare", action="store_true",
+        help="gate the exit status on the SLO verdict: every failsafe "
+             "arm must meet all three SLOs (zero partitions, bounded "
+             "latency inflation, bounded energy overshoot) while every "
+             "unprotected arm violates at least one")
+    parser.add_argument(
+        "--json-out", type=Path, default=None, metavar="PATH",
+        help="also write the machine-readable SLO verdict as JSON "
+             "(the CI artifact)")
+    parser.add_argument(
+        "--seed", type=int, default=chaos.CAMPAIGN_SEED,
+        help=f"workload RNG seed (default: {chaos.CAMPAIGN_SEED})")
+    parser.add_argument(
+        "--fault-seed", type=int, default=chaos.CAMPAIGN_FAULT_SEED,
+        help="control-fault RNG seed (default: "
+             f"{chaos.CAMPAIGN_FAULT_SEED})")
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="sweep worker processes")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent run cache")
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None, metavar="DIR",
+        help="persistent run-cache directory "
+             "(default: $REPRO_CACHE_DIR or ~/.cache/repro/sweeps)")
+    parser.add_argument(
+        "--run-log", type=Path, default=None, metavar="PATH",
+        help="append one provenance-stamped JSONL run record per "
+             "resolved spec")
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="in-process retry budget per failed sweep spec "
+             "(default: $REPRO_RETRIES or 1)")
+    return parser
+
+
+def chaos_main(argv) -> int:
+    """Entry point for ``python -m repro chaos ...``."""
+    args = build_chaos_parser().parse_args(argv)
+    sweep.configure(jobs=args.jobs, use_cache=not args.no_cache,
+                    cache_dir=args.cache_dir, run_log=args.run_log,
+                    retries=args.retries)
+    before = sweep.active_runner().stats.snapshot()
+    try:
+        result = chaos.run(seed=args.seed, fault_seed=args.fault_seed)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    sweep_delta = sweep.active_runner().stats.delta(before)
+    print(result.format_table())
+    print()
+    for line in result.verdict_lines():
+        print(line)
+    if sweep_delta.submitted:
+        print(f"[sweep: {sweep_delta.format_line()}]")
+    if args.json_out is not None:
+        args.json_out.parent.mkdir(parents=True, exist_ok=True)
+        args.json_out.write_text(
+            json.dumps(result.verdict_dict(), indent=2, sort_keys=True)
+            + "\n")
+        print(f"wrote {args.json_out}")
+    if args.compare:
+        return 0 if result.ok else 1
     return 0
 
 
@@ -684,7 +782,22 @@ def _perf_compare(args: argparse.Namespace) -> int:
     """Implement ``perf compare``: tolerance-band regression gate."""
     from repro.obs import benchsuite
 
-    baseline = benchsuite.read_suite(args.baseline)
+    try:
+        baseline = benchsuite.read_suite(args.baseline)
+    except FileNotFoundError:
+        print(f"error: perf baseline not found: {args.baseline}\n"
+              f"  expected a committed BENCH_suite.json at that path; "
+              f"generate one with\n"
+              f"  'make perf-baseline' (or 'python -m repro perf run "
+              f"--out {args.baseline}')", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"error: perf baseline {args.baseline} is unusable: "
+              f"{exc}\n"
+              f"  the schema likely drifted since it was written; "
+              f"regenerate it with 'make perf-baseline'",
+              file=sys.stderr)
+        return 1
     if args.candidate is not None:
         candidate = benchsuite.read_suite(args.candidate)
     else:
@@ -738,10 +851,13 @@ def main(argv=None) -> int:
         return predict_main(list(argv[1:]))
     if argv and argv[0] == "faults":
         return faults_main(list(argv[1:]))
+    if argv and argv[0] == "chaos":
+        return chaos_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
 
     sweep.configure(jobs=args.jobs, use_cache=not args.no_cache,
-                    cache_dir=args.cache_dir, run_log=args.run_log)
+                    cache_dir=args.cache_dir, run_log=args.run_log,
+                    retries=args.retries)
 
     if args.experiment == "golden-refresh":
         target = args.output or golden.default_golden_dir()

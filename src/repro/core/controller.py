@@ -121,6 +121,32 @@ class EpochController:
         if self._event is not None:
             self._event.cancel()
 
+    def cold_restart(self) -> None:
+        """Resume after a crash with cold (empty) volatile state.
+
+        The control-plane chaos layer
+        (:mod:`repro.faults.control_faults`) calls this when a
+        ``ControllerCrash`` fault's restart deadline arrives: the
+        replacement controller process keeps its *configuration*
+        (policy, groups, sensors are rebuilt from config in a real
+        deployment) but loses every in-memory accumulator.  Subclasses
+        extend :meth:`_reset_volatile_state` to forget theirs — the
+        amnesia is the hazard the failsafe's crash recovery exists to
+        compensate for.
+        """
+        self._stopped = False
+        if self._event is not None:
+            self._event.cancel()
+        self._reset_volatile_state()
+        self._event = self.network.sim.schedule(
+            self.config.effective_epoch_ns, self._on_epoch, daemon=True)
+
+    def _reset_volatile_state(self) -> None:
+        """Forget in-memory state a process restart would lose."""
+        smoothed = getattr(self.sensor, "_smoothed", None)
+        if smoothed is not None:
+            smoothed.clear()
+
     def _on_epoch(self) -> None:
         if self._stopped:
             return

@@ -74,6 +74,8 @@ _ELIDED_SPEC_DEFAULTS = {
     "headroom": 0.0,
     "faults": None,
     "fault_seed": 0,
+    "control_faults": None,
+    "failsafe": False,
 }
 
 
@@ -179,6 +181,8 @@ def summary_to_dict(summary: SimulationSummary) -> Dict[str, Any]:
         out["faults"] = summary.faults
     if summary.perf is not None:
         out["perf"] = summary.perf
+    if summary.control_plane is not None:
+        out["control_plane"] = summary.control_plane
     return out
 
 

@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List
 
 from repro.experiments import (
+    chaos,
     fault_tolerance,
     figure1,
     figure7,
@@ -124,6 +125,28 @@ def faults_payload() -> Dict[str, Any]:
     }
 
 
+def chaos_payload() -> Dict[str, Any]:
+    """The control-plane chaos campaign's digests and SLO verdict.
+
+    Freezes the whole chaos/failsafe stack at the campaign's pinned
+    fabric and seeds: per-arm summary digests (which include the chaos
+    layer's loss/staleness/crash accounting and the guard's
+    hold/deadman/retry/recovery counters), the per-arm SLO verdicts,
+    and the two acceptance booleans — every failsafe arm meeting all
+    three SLOs, every unprotected arm violating at least one.  Live
+    no-cache runs, same as the Figure 7 golden.
+    """
+    with using_runner(SweepRunner(jobs=1, use_cache=False)):
+        result = chaos.run()
+    return {
+        "runs": {label: summary_digest(summary)
+                 for label, summary in result.by_label.items()},
+        "verdict": result.verdict_dict(),
+        "failsafe_ok": result.failsafe_ok,
+        "unprotected_degraded": result.unprotected_degraded,
+    }
+
+
 #: name -> payload builder; the golden file set.
 GOLDEN_BUILDERS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "table1": table1_payload,
@@ -131,6 +154,7 @@ GOLDEN_BUILDERS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "figure7": figure7_payload,
     "predictive": predictive_payload,
     "faults": faults_payload,
+    "chaos": chaos_payload,
 }
 
 

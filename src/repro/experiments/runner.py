@@ -96,6 +96,14 @@ class SimulationSpec:
     #: Seed of the fault scenario's own RNG streams (independent of the
     #: workload seed).  Elided from cache encodings at 0.
     fault_seed: int = 0
+    #: Named control-plane fault scenario (see
+    #: :mod:`repro.faults.control_faults`); ``None`` runs a perfect
+    #: control plane.  Seeded by ``fault_seed``; elided from cache
+    #: encodings at the default.
+    control_faults: Optional[str] = None
+    #: Attach the :class:`~repro.core.failsafe.FailsafeGuard` around
+    #: the controller.  Elided from cache encodings at False.
+    failsafe: bool = False
 
     def build_topology(self) -> FlattenedButterfly:
         """Construct the FBFLY this spec describes."""
@@ -173,6 +181,12 @@ class SimulationSummary:
     #: unless a profiler was attached.  Host-measured, so it is elided
     #: from cache encodings and stripped from determinism digests.
     perf: Optional[Dict] = None
+    #: Control-plane chaos digest (telemetry loss/staleness/corruption
+    #: counts, lost/delayed actuations, crashes and restarts, plus the
+    #: failsafe guard's hold/deadman/retry/recovery accounting under
+    #: ``"failsafe"``) — ``None`` for runs with a perfect control
+    #: plane and no guard, and elided from cache encodings.
+    control_plane: Optional[Dict] = None
 
 
 def _build_epoch_controller(network, spec, decision_log):
@@ -216,9 +230,12 @@ def run_simulation(spec: SimulationSpec,
         net_config = NetworkConfig(
             seed=spec.seed, initial_rate_gbps=net_config.ladder.min_rate)
     routing_factory = None
-    if spec.faults is not None:
+    if spec.faults is not None or spec.control_faults is not None:
         # Fault runs must route around dark links; plain minimal
-        # adaptive routing cannot.
+        # adaptive routing cannot.  Control-plane chaos can dark links
+        # too (a naive controller gates "idle"-looking groups off), so
+        # it gets the same treatment — and the same partition
+        # detection below.
         from repro.routing.restricted import RestrictedAdaptiveRouting
         routing_factory = RestrictedAdaptiveRouting
     network = FbflyNetwork(topology, net_config,
@@ -240,13 +257,42 @@ def run_simulation(spec: SimulationSpec,
                                       spec=spec, decision_log=decision_log)
 
     injector = None
-    if spec.faults is not None:
-        from repro.faults import apply_scenario, build_scenario
+    if spec.faults is not None or spec.control_faults is not None:
         from repro.sim.faults import LinkFaultInjector
-        scenario = build_scenario(spec.faults, spec)
+        # For control-fault-only runs the injector schedules nothing;
+        # it is attached for its drop accounting and BFS partition
+        # detection (the chaos campaign's zero-partition SLO).
         injector = LinkFaultInjector(network, decision_log=decision_log)
-        apply_scenario(scenario, network, injector,
-                       until_ns=spec.duration_ns)
+        if spec.faults is not None:
+            from repro.faults import apply_scenario, build_scenario
+            scenario = build_scenario(spec.faults, spec)
+            apply_scenario(scenario, network, injector,
+                           until_ns=spec.duration_ns)
+
+    chaos = None
+    guard = None
+    if spec.control_faults is not None:
+        if controller is None:
+            raise ValueError(
+                f"control_faults={spec.control_faults!r} needs a "
+                f"controller-driven control mode, not {spec.control!r}")
+        from repro.faults.control_faults import (
+            ControlPlaneChaos,
+            build_control_scenario,
+        )
+        chaos = ControlPlaneChaos(
+            controller, build_control_scenario(spec.control_faults, spec),
+            decision_log=decision_log)
+    if spec.failsafe:
+        if controller is None:
+            raise ValueError(
+                f"failsafe=True needs a controller-driven control "
+                f"mode, not {spec.control!r}")
+        from repro.core.failsafe import FailsafeGuard
+        # Attached after the chaos layer: the guard wraps the lossy
+        # control plane, exactly as it would in deployment.
+        guard = FailsafeGuard(controller, decision_log=decision_log,
+                              seed=spec.fault_seed)
 
     if telemetry is not None:
         telemetry.attach(network)
@@ -263,6 +309,14 @@ def run_simulation(spec: SimulationSpec,
         if hasattr(controller, "faults_summary"):
             faults_info.update(controller.faults_summary())
 
+    control_plane_info = None
+    if chaos is not None or guard is not None:
+        control_plane_info = {"scenario": spec.control_faults}
+        if chaos is not None:
+            control_plane_info.update(chaos.digest())
+        control_plane_info["failsafe"] = (guard.digest()
+                                          if guard is not None else None)
+
     return SimulationSummary(
         spec=spec,
         average_utilization=stats.average_utilization(),
@@ -274,7 +328,8 @@ def run_simulation(spec: SimulationSpec,
         delivered_fraction=stats.delivered_fraction(),
         messages_delivered=stats.messages_delivered,
         escapes=stats.escapes,
-        reconfigurations=(controller.reconfigurations if controller else 0),
+        reconfigurations=((controller.reconfigurations if controller else 0)
+                          + (guard.reconfigurations if guard else 0)),
         time_at_rate=stats.time_at_rate_fractions(),
         events_fired=network.sim.events_fired,
         wall_seconds=time.perf_counter() - started,
@@ -287,6 +342,7 @@ def run_simulation(spec: SimulationSpec,
         perf=(telemetry.profiler.report()
               if telemetry is not None and telemetry.profiler is not None
               else None),
+        control_plane=control_plane_info,
     )
 
 

@@ -14,9 +14,10 @@ determinism of ``run_simulation`` is a hard requirement — enforced by
 
 Experiments call the module-level :func:`sweep` / :func:`run_cached`,
 which route through a process-wide default runner.  The CLI's
-``--jobs/--no-cache/--cache-dir`` flags call :func:`configure`;
-the ``REPRO_JOBS``, ``REPRO_CACHE`` and ``REPRO_CACHE_DIR`` environment
-variables set the defaults everywhere else (benchmarks included), and
+``--jobs/--no-cache/--cache-dir/--retries`` flags call
+:func:`configure`; the ``REPRO_JOBS``, ``REPRO_CACHE``,
+``REPRO_CACHE_DIR`` and ``REPRO_RETRIES`` environment variables set
+the defaults everywhere else (benchmarks included), and
 :func:`using_runner` scopes an explicit runner for tests.
 
 Per-sweep accounting follows the :mod:`repro.sim.stats` idiom: plain
@@ -35,6 +36,7 @@ from __future__ import annotations
 
 import contextlib
 import os
+import random
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
@@ -46,6 +48,7 @@ from repro.experiments.cache import (
     LRUCache,
     SweepCache,
     default_cache_dir,
+    spec_key,
 )
 from repro.experiments.runner import (
     SimulationSpec,
@@ -57,6 +60,13 @@ from repro.experiments.runner import (
 JOBS_ENV = "REPRO_JOBS"
 CACHE_ENV = "REPRO_CACHE"
 RUN_LOG_ENV = "REPRO_RUN_LOG"
+RETRIES_ENV = "REPRO_RETRIES"
+
+#: In-process retry attempts per failed spec when nothing configures it.
+DEFAULT_RETRIES = 1
+
+#: Base of the seeded exponential retry backoff (seconds).
+DEFAULT_RETRY_BACKOFF_S = 0.05
 
 #: Bound on the default in-process memo (the old ``functools.lru_cache``
 #: memo was this size too, but fronted no persistent layer).
@@ -78,11 +88,13 @@ class SweepStats:
         memo_hits: Served from the in-process LRU memo.
         cache_hits: Served from the persistent disk cache.
         executed: Actually simulated this time.
-        retried: Specs re-run in-process after their worker died or
-            raised (each retried spec still counts under ``executed``
-            or ``failed``, whichever way the retry went).
-        failed: Specs that failed their retry too; they are absent
-            from the sweep's results instead of aborting it.
+        retried: In-process retry *attempts* after a worker died or
+            raised (a spec retried twice counts twice; each retried
+            spec still ends under ``executed`` or ``failed``,
+            whichever way its retries went).
+        failed: Specs that exhausted their whole retry budget; they
+            are absent from the sweep's results instead of aborting
+            it.
         wall_seconds: Harness wall-clock across the counted sweeps.
         run_seconds_total: Sum of per-run simulation wall times.
         run_seconds_max: Slowest single run.
@@ -215,6 +227,16 @@ class SweepRunner:
         run_log: Optional JSONL path; one provenance-stamped record is
             appended per distinct spec resolved (cache hits included,
             marked ``cached: true``).
+        retries: In-process retry attempts per failed spec (the
+            ``--retries`` / ``$REPRO_RETRIES`` budget).  ``None``
+            means :data:`DEFAULT_RETRIES`; ``0`` disables retries
+            entirely.
+        retry_backoff_s: Base of the exponential backoff slept before
+            the second and later retries of one spec (the first retry
+            is immediate: the dominant failure is a dead pool worker,
+            not a transient resource).  Jitter is seeded from the
+            spec's cache key, so the schedule is deterministic per
+            spec yet decorrelated across a campaign.
         worker_fn: The per-spec execution callable handed to worker
             processes (must be picklable, i.e. top-level).  ``None``
             (the default) resolves to :func:`_execute_spec` at call
@@ -223,10 +245,11 @@ class SweepRunner:
 
     A worker that dies (``SIGKILL``/OOM breaks the whole
     ``ProcessPoolExecutor``) or raises does not abort the sweep: every
-    spec whose future failed is retried once in-process, and a spec
-    failing its retry too is counted in ``SweepStats.failed``, logged
-    to the run log as a failure record, and simply absent from the
-    returned results.
+    spec whose future failed is retried in-process up to the
+    ``retries`` budget, and a spec exhausting its budget is counted in
+    ``SweepStats.failed``, logged to the run log as a failure record
+    (with its attempt count), and simply absent from the returned
+    results.
     """
 
     def __init__(self, jobs: Optional[int] = None, use_cache: bool = True,
@@ -234,10 +257,20 @@ class SweepRunner:
                  cache_dir: Optional[Path] = None,
                  memo_size: int = DEFAULT_MEMO_SIZE,
                  run_log: Optional[Path] = None,
+                 retries: Optional[int] = None,
+                 retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
                  worker_fn=None):
         self.jobs = (os.cpu_count() or 1) if jobs is None else int(jobs)
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.retries = (DEFAULT_RETRIES if retries is None
+                        else int(retries))
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if retry_backoff_s < 0.0:
+            raise ValueError(
+                f"retry_backoff_s must be >= 0, got {retry_backoff_s}")
+        self.retry_backoff_s = retry_backoff_s
         if cache is not None:
             self.cache: Optional[SweepCache] = cache
         elif use_cache:
@@ -385,28 +418,56 @@ class SweepRunner:
     def _retry_inline(self, spec: SimulationSpec, batch: SweepStats,
                       exc: BaseException
                       ) -> Optional[SimulationSummary]:
-        """One in-process retry for a spec whose worker died or raised."""
-        batch.retried += 1
-        warnings.warn(
-            f"sweep worker failed ({type(exc).__name__}: {exc}); "
-            f"retrying spec in-process", RuntimeWarning, stacklevel=3)
-        try:
-            return self._worker()(spec)
-        except Exception as retry_exc:
-            batch.failed += 1
+        """In-process retries for a spec whose worker died or raised.
+
+        Up to ``self.retries`` attempts.  The first retry fires
+        immediately; later ones sleep a seeded exponential backoff
+        with per-spec jitter (:meth:`_retry_delay`), so a campaign's
+        stragglers don't stampede a wounded host in lockstep.
+        """
+        last_exc = exc
+        for attempt in range(1, self.retries + 1):
+            if attempt > 1:
+                time.sleep(self._retry_delay(spec, attempt))
+            batch.retried += 1
             warnings.warn(
-                f"sweep spec failed its in-process retry too "
-                f"({type(retry_exc).__name__}: {retry_exc}); dropping it "
-                f"from the sweep", RuntimeWarning, stacklevel=3)
-            self._record_failure(spec, retry_exc)
-            return None
+                f"sweep worker failed ({type(last_exc).__name__}: "
+                f"{last_exc}); retry {attempt}/{self.retries} "
+                f"in-process", RuntimeWarning, stacklevel=3)
+            try:
+                return self._worker()(spec)
+            except Exception as retry_exc:
+                last_exc = retry_exc
+        batch.failed += 1
+        warnings.warn(
+            f"sweep spec exhausted its retry budget — failed every "
+            f"in-process retry too ({type(last_exc).__name__}: "
+            f"{last_exc}); dropping it from the sweep",
+            RuntimeWarning, stacklevel=3)
+        self._record_failure(spec, last_exc,
+                             attempts=1 + self.retries)
+        return None
+
+    def _retry_delay(self, spec: SimulationSpec, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (>= 2) of one spec.
+
+        ``backoff * 2^(attempt-2)``, scaled by a jitter in [1, 2)
+        drawn from ``Random(f"sweep-retry:{spec_key}:{attempt}")`` —
+        string-seeded, so deterministic across ``PYTHONHASHSEED``
+        values yet different for every (spec, attempt).
+        """
+        base = self.retry_backoff_s * (2.0 ** (attempt - 2))
+        jitter = random.Random(
+            f"sweep-retry:{spec_key(spec)}:{attempt}").random()
+        return base * (1.0 + jitter)
 
     def _record_failure(self, spec: SimulationSpec,
-                        error: BaseException) -> None:
+                        error: BaseException,
+                        attempts: int = 1) -> None:
         """Append a failure record to the run log, when one is kept."""
         recorder = self._recorder()
         if recorder is not None:
-            recorder.record_failure(spec, error)
+            recorder.record_failure(spec, error, attempts=attempts)
 
     def run_one(self, spec: SimulationSpec) -> SimulationSummary:
         """Run (or recall) a single spec through the same layers."""
@@ -443,6 +504,18 @@ def _env_default_run_log() -> Optional[Path]:
     return Path(raw) if raw else None
 
 
+def _env_default_retries() -> Optional[int]:
+    """``REPRO_RETRIES`` as an int, or ``None`` for the default."""
+    raw = os.environ.get(RETRIES_ENV)
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{RETRIES_ENV}={raw!r} is not an integer") from None
+
+
 def default_runner() -> SweepRunner:
     """The lazily-created process-wide runner (env-configured)."""
     global _default_runner
@@ -451,6 +524,7 @@ def default_runner() -> SweepRunner:
             jobs=_env_default_jobs(),
             use_cache=_env_default_use_cache(),
             run_log=_env_default_run_log(),
+            retries=_env_default_retries(),
         )
     return _default_runner
 
@@ -458,12 +532,15 @@ def default_runner() -> SweepRunner:
 def configure(jobs: Optional[int] = None, use_cache: bool = True,
               cache_dir: Optional[Path] = None,
               memo_size: int = DEFAULT_MEMO_SIZE,
-              run_log: Optional[Path] = None) -> SweepRunner:
+              run_log: Optional[Path] = None,
+              retries: Optional[int] = None) -> SweepRunner:
     """Replace the default runner (the CLI flag hook); returns it."""
     global _default_runner
+    if retries is None:
+        retries = _env_default_retries()
     _default_runner = SweepRunner(jobs=jobs, use_cache=use_cache,
                                   cache_dir=cache_dir, memo_size=memo_size,
-                                  run_log=run_log)
+                                  run_log=run_log, retries=retries)
     return _default_runner
 
 

@@ -17,6 +17,13 @@ the robustness counterpart to :mod:`repro.predict`:
   :class:`~repro.faults.policy.FaultAwareEpochController` and the
   :class:`~repro.faults.policy.SpanningSetGuard` that pins a spanning
   set of links at minimum-rate-on.
+- :mod:`repro.faults.control_faults` — the **control-plane** chaos
+  layer (telemetry dropout/staleness/corruption, lost and delayed
+  actuations, controller crashes with cold restarts), injected as a
+  group proxy between the sensor taps and any registry-routed
+  controller, with its own named-scenario registry keyed by
+  ``SimulationSpec.control_faults``.  Its defensive counterpart is
+  :mod:`repro.core.failsafe`.
 
 Importing this package registers the ``"fault_gated"`` (unprotected)
 and ``"fault_pinned"`` (spanning-set-guarded) control modes with
@@ -49,6 +56,20 @@ from repro.faults.scenario import (
     register_scenario,
     registered_scenarios,
     scenario_registered,
+)
+from repro.faults.control_faults import (
+    ControlFaultScenario,
+    ControlPlaneChaos,
+    ControllerCrash,
+    CorruptReading,
+    DecisionDelay,
+    DecisionLoss,
+    StaleTelemetry,
+    TelemetryDropout,
+    build_control_scenario,
+    control_scenario_registered,
+    register_control_scenario,
+    registered_control_scenarios,
 )
 from repro.faults.sensors import FaultySensor
 
@@ -124,4 +145,16 @@ __all__ = [
     "FaultAwareEpochController",
     "GatingConfig",
     "SpanningSetGuard",
+    "ControlFaultScenario",
+    "ControlPlaneChaos",
+    "ControllerCrash",
+    "CorruptReading",
+    "DecisionDelay",
+    "DecisionLoss",
+    "StaleTelemetry",
+    "TelemetryDropout",
+    "build_control_scenario",
+    "control_scenario_registered",
+    "register_control_scenario",
+    "registered_control_scenarios",
 ]

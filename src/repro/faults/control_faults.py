@@ -1,0 +1,635 @@
+"""Control-plane fault injection: chaos between sensors and controller.
+
+PR 4 (:mod:`repro.faults.scenario`) broke the *data plane* — links and
+switch chips fail, sensors lie at the source.  This module breaks the
+**control plane itself**: the path a reading travels from the switch's
+tap to the controller, the path a decision travels back to the
+serializer, and the controller process's own lifetime.  The paper's
+epoch loop assumes all three are perfect; any real deployment of it (a
+controller process polling switch counters and pushing rate commands)
+loses telemetry reports, applies commands late or not at all, and gets
+restarted by its supervisor with cold state.
+
+The DSL is declarative and seeded, mirroring the data-plane scenario
+DSL:
+
+- :class:`TelemetryDropout` — a group's epoch report is lost in flight.
+  The controller receives a **zero reading** (silence is
+  indistinguishable from idleness — the signature control-plane
+  hazard: a naive gating controller powers "idle" links off).
+- :class:`StaleTelemetry` — the report delivered is ``epochs`` old
+  (a congested or buffering telemetry pipeline).
+- :class:`CorruptReading` — the delivered report is wrong
+  (stuck-at-value or scaled), without any transport-level signal.
+- :class:`DecisionDelay` — a rate command applies ``epochs`` late; the
+  controller believes it applied immediately.
+- :class:`DecisionLoss` — a rate command is silently dropped; the
+  controller *still believes it applied* (the return value claims
+  success), so its model of the fabric diverges from reality.
+- :class:`ControllerCrash` — the controller process dies at an
+  absolute time and (optionally) restarts after N epochs with **cold
+  volatile state** (:meth:`repro.core.controller.EpochController.
+  cold_restart`): every in-memory accumulator — gating bookkeeping,
+  sensor smoothing — is gone.
+
+Injection is a **group proxy** (:class:`ChaosGroup`): the chaos layer
+replaces every entry of ``controller.groups`` with a wrapper that
+intercepts the telemetry reads (``utilization_since_last`` /
+``max_queue_fraction`` / ``credit_stalls_since_last``) and the
+actuation (``set_rate``) and delegates everything else.  This works
+for *any* registry-routed controller — reactive, predictive,
+fault-aware — because the group API is the single seam every
+controller already goes through.
+
+Determinism: every stochastic choice is a **stateless hashed draw** —
+``random.Random(f"ctl:{seed}:{kind}:{group}:{epoch}")`` — so the fault
+process is independent of ``PYTHONHASHSEED``, of query order, and
+identical between a protected and an unprotected arm of the same
+campaign (CPython seeds string arguments through SHA-512, not
+``hash()``).
+
+Everything the injector does is auditable: each induced loss, stale
+delivery, corruption, dropped/delayed actuation, crash and restart is
+recorded in the :class:`~repro.obs.decisions.DecisionLog` under the
+``control_fault_*`` reasons with ``changed=False`` (the transition
+audit — ``transition_counts`` summing to ``reconfigurations`` — is
+untouched), and aggregated in :meth:`ControlPlaneChaos.digest` for the
+run summary's ``control_plane`` field.
+"""
+
+from __future__ import annotations
+
+import collections
+import random
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.obs.decisions import (
+    CONTROL_FAULT_ACTUATION_DELAYED,
+    CONTROL_FAULT_ACTUATION_LOST,
+    CONTROL_FAULT_CRASH,
+    CONTROL_FAULT_RESTART,
+    CONTROL_FAULT_TELEMETRY_CORRUPT,
+    CONTROL_FAULT_TELEMETRY_LOST,
+    CONTROL_FAULT_TELEMETRY_STALE,
+    Decision,
+    DecisionLog,
+)
+
+#: Pseudo group name stamped on controller-lifetime audit records.
+CONTROLLER_GROUP = "__controller__"
+
+
+# ---------------------------------------------------------------------------
+# The declarative fault DSL
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TelemetryDropout:
+    """Epoch reports vanish in flight; the controller reads zeros.
+
+    Attributes:
+        fraction: Fraction of groups affected (hash-selected, stable
+            for the whole run).
+        probability: Per affected group-epoch loss probability.
+        start_ns / end_ns: Active window (``end_ns=None`` = horizon).
+    """
+
+    fraction: float = 1.0
+    probability: float = 1.0
+    start_ns: float = 0.0
+    end_ns: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class StaleTelemetry:
+    """Delivered reports are ``epochs`` old (buffered pipeline)."""
+
+    epochs: int = 1
+    fraction: float = 1.0
+    start_ns: float = 0.0
+    end_ns: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class CorruptReading:
+    """Delivered reports are wrong, with no transport-level signal.
+
+    ``kind="stuck"`` pins utilization and queue fraction at ``value``
+    (stalls to zero); ``kind="scale"`` multiplies them by ``factor``.
+    """
+
+    kind: str = "stuck"
+    value: float = 0.0
+    factor: float = 1.0
+    fraction: float = 1.0
+    start_ns: float = 0.0
+    end_ns: Optional[float] = None
+
+    def __post_init__(self):
+        if self.kind not in ("stuck", "scale"):
+            raise ValueError(f"unknown corruption kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class DecisionDelay:
+    """Rate commands apply ``epochs`` late; the controller is not told."""
+
+    epochs: int = 1
+    fraction: float = 1.0
+    probability: float = 1.0
+    start_ns: float = 0.0
+    end_ns: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class DecisionLoss:
+    """Rate commands are silently dropped; the return value still
+    claims success, so the controller's model diverges from the
+    fabric."""
+
+    probability: float = 0.5
+    fraction: float = 1.0
+    start_ns: float = 0.0
+    end_ns: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ControllerCrash:
+    """The controller dies at ``time_ns``; optionally restarts cold.
+
+    ``restart_after_epochs=None`` means it never comes back — the
+    fabric is frozen at whatever rates (and power states) the last
+    decisions left it in.
+    """
+
+    time_ns: float
+    restart_after_epochs: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ControlFaultScenario:
+    """A named, seeded bundle of control-plane faults."""
+
+    name: str
+    seed: int = 0
+    dropout: Optional[TelemetryDropout] = None
+    stale: Optional[StaleTelemetry] = None
+    corrupt: Optional[CorruptReading] = None
+    delay: Optional[DecisionDelay] = None
+    loss: Optional[DecisionLoss] = None
+    crashes: Tuple[ControllerCrash, ...] = ()
+
+
+# ---------------------------------------------------------------------------
+# The group proxy
+# ---------------------------------------------------------------------------
+
+class ChaosGroup:
+    """A :class:`~repro.core.grouping.ChannelGroup` seen through a
+    faulty control plane.
+
+    Telemetry reads sample the wrapped group **exactly once per sim
+    timestamp** (the underlying counters are delta-based and must be
+    consumed once per epoch), push the true reading through the
+    scenario's delivery pipeline (stale -> corrupt -> dropout), and
+    expose the guard-readable outcome as attributes:
+
+    Attributes:
+        delivered_ok: Whether this epoch's report arrived at all.
+        lost_streak: Consecutive epochs of lost reports.
+        staleness_epochs: Age of the delivered report (0 = fresh; for
+            lost epochs, the streak length).
+    """
+
+    def __init__(self, group, chaos: "ControlPlaneChaos"):
+        self._group = group
+        self._chaos = chaos
+        self.name = group.name
+        self.channels = group.channels
+        self.delivered_ok = True
+        self.lost_streak = 0
+        self.staleness_epochs = 0
+        self._sampled_at: Optional[float] = None
+        self._delivered: Tuple[float, float, int] = (0.0, 0.0, 0)
+        depth = 4
+        if chaos.scenario.stale is not None:
+            depth = max(depth, chaos.scenario.stale.epochs + 2)
+        self._history: Deque[Tuple[int, Tuple[float, float, int]]] = (
+            collections.deque(maxlen=depth))
+
+    # -- delegation ------------------------------------------------------
+
+    @property
+    def raw(self):
+        """The wrapped (real) group — the guard's local-action path."""
+        return self._group
+
+    @property
+    def current_rate(self) -> float:
+        """The real group's configured rate (rate state is hardware
+        state — chaos lies about telemetry, not about physics)."""
+        return self._group.current_rate
+
+    @property
+    def is_off(self) -> bool:
+        """The real group's power state (delegated, never faked)."""
+        return self._group.is_off
+
+    def __repr__(self) -> str:
+        return f"ChaosGroup({self._group!r})"
+
+    # -- telemetry (intercepted) -----------------------------------------
+
+    def _sample(self, epoch_ns: float) -> None:
+        chaos = self._chaos
+        now = chaos.sim.now
+        if now == self._sampled_at:
+            return
+        self._sampled_at = now
+        epoch = chaos.epoch_index(now)
+        true = (self._group.utilization_since_last(epoch_ns),
+                self._group.max_queue_fraction(),
+                self._group.credit_stalls_since_last())
+        self._history.append((epoch, true))
+        reading, status, age = chaos.deliver(
+            self.name, epoch, now, true, self._history)
+        self._delivered = reading
+        if status == "lost":
+            self.lost_streak += 1
+            self.staleness_epochs = self.lost_streak
+        else:
+            self.lost_streak = 0
+            self.staleness_epochs = age
+        self.delivered_ok = status != "lost"
+        chaos.note_telemetry(self, status, now)
+
+    def utilization_since_last(self, epoch_ns: float) -> float:
+        """The busy fraction *as delivered* by the faulty pipeline."""
+        self._sample(epoch_ns)
+        return self._delivered[0]
+
+    def max_queue_fraction(self) -> float:
+        """The queue occupancy *as delivered* by the faulty pipeline."""
+        self._sample(self._chaos.epoch_ns)
+        return self._delivered[1]
+
+    def credit_stalls_since_last(self) -> int:
+        """The credit stalls *as delivered* by the faulty pipeline."""
+        self._sample(self._chaos.epoch_ns)
+        return self._delivered[2]
+
+    # -- actuation (intercepted) -----------------------------------------
+
+    def set_rate(self, rate_gbps: float, reactivation_ns: float) -> bool:
+        """Route the rate command through the lossy actuation path."""
+        return self._chaos.actuate(self, rate_gbps, reactivation_ns)
+
+
+def _would_change(group, rate_gbps: float) -> bool:
+    """What ``group.set_rate(rate_gbps, ...)`` would have returned.
+
+    Used to fabricate a *plausible* success claim for a lost or delayed
+    actuation: the controller's accounting (``reconfigurations``, the
+    transition audit) tracks what it *believes* happened.
+    """
+    for ch in group.channels:
+        if ch.is_off:
+            continue
+        effective = (ch._pending_rate if ch._pending_rate is not None
+                     else ch.rate_gbps)
+        if effective != rate_gbps:
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# The injector
+# ---------------------------------------------------------------------------
+
+class ControlPlaneChaos:
+    """Applies a :class:`ControlFaultScenario` to a live controller.
+
+    Construction wraps every entry of ``controller.groups`` in a
+    :class:`ChaosGroup` and schedules the scenario's crashes as daemon
+    events.  Must run *before* a failsafe guard wraps the same groups
+    (the guard sits outside the chaos layer, like a switch-local
+    watchdog observing the same lossy channel the controller does).
+    """
+
+    def __init__(self, controller, scenario: ControlFaultScenario,
+                 decision_log: Optional[DecisionLog] = None):
+        self.controller = controller
+        self.network = controller.network
+        self.sim = self.network.sim
+        self.epoch_ns = controller.config.effective_epoch_ns
+        self.scenario = scenario
+        self.decision_log = decision_log
+        self.telemetry_lost = 0
+        self.telemetry_stale = 0
+        self.telemetry_corrupt = 0
+        self.actuations_lost = 0
+        self.actuations_delayed = 0
+        self.crashes = 0
+        self.restarts = 0
+        self.max_lost_streak = 0
+        controller.groups = [ChaosGroup(group, self)
+                             for group in controller.groups]
+        for crash in scenario.crashes:
+            self.sim.schedule_at(crash.time_ns, self._crash, crash,
+                                 daemon=True)
+
+    # -- determinism primitives ------------------------------------------
+
+    def epoch_index(self, now: float) -> int:
+        """The epoch ordinal at ``now`` (decisions land on multiples of
+        the epoch, so rounding is exact up to float noise)."""
+        return int(round(now / self.epoch_ns))
+
+    def _affected(self, kind: str, group: str, fraction: float) -> bool:
+        """Stable per-run group selection for one fault kind."""
+        if fraction >= 1.0:
+            return True
+        if fraction <= 0.0:
+            return False
+        return random.Random(
+            f"ctlsel:{self.scenario.seed}:{kind}:{group}"
+        ).random() < fraction
+
+    def _draw(self, kind: str, group: str, epoch: int) -> float:
+        """Stateless per-(kind, group, epoch) uniform draw."""
+        return random.Random(
+            f"ctl:{self.scenario.seed}:{kind}:{group}:{epoch}").random()
+
+    @staticmethod
+    def _active(fault, now: float) -> bool:
+        if now < fault.start_ns:
+            return False
+        return fault.end_ns is None or now < fault.end_ns
+
+    # -- telemetry pipeline ----------------------------------------------
+
+    def deliver(self, group: str, epoch: int, now: float,
+                true: Tuple[float, float, int],
+                history) -> Tuple[Tuple[float, float, int], str, int]:
+        """One reading through the faulty pipeline.
+
+        Returns ``(reading, status, age_epochs)`` where status is one
+        of ``ok | stale | corrupt | lost``.  Order matters: staleness
+        picks which report is in flight, corruption mangles it, and a
+        dropout loses whatever would have arrived.
+        """
+        sc = self.scenario
+        reading, status, age = true, "ok", 0
+        if (sc.stale is not None and self._active(sc.stale, now)
+                and self._affected("stale", group, sc.stale.fraction)):
+            target = epoch - sc.stale.epochs
+            chosen = history[0]
+            for entry in history:
+                if entry[0] <= target:
+                    chosen = entry
+            if chosen[0] < epoch:
+                reading = chosen[1]
+                status = "stale"
+                age = epoch - chosen[0]
+        if (sc.corrupt is not None and self._active(sc.corrupt, now)
+                and self._affected("corrupt", group, sc.corrupt.fraction)):
+            c = sc.corrupt
+            if c.kind == "stuck":
+                reading = (c.value, c.value, 0)
+            else:
+                reading = (reading[0] * c.factor, reading[1] * c.factor,
+                           reading[2])
+            status = "corrupt"
+        if (sc.dropout is not None and self._active(sc.dropout, now)
+                and self._affected("dropout", group, sc.dropout.fraction)
+                and self._draw("dropout", group, epoch)
+                < sc.dropout.probability):
+            reading = (0.0, 0.0, 0)
+            status = "lost"
+        return reading, status, age
+
+    def note_telemetry(self, cgroup: ChaosGroup, status: str,
+                       now: float) -> None:
+        """Count and audit one delivery outcome (``ok`` is silent)."""
+        if status == "ok":
+            return
+        if status == "lost":
+            self.telemetry_lost += 1
+            self.max_lost_streak = max(self.max_lost_streak,
+                                       cgroup.lost_streak)
+            reason = CONTROL_FAULT_TELEMETRY_LOST
+        elif status == "stale":
+            self.telemetry_stale += 1
+            reason = CONTROL_FAULT_TELEMETRY_STALE
+        else:
+            self.telemetry_corrupt += 1
+            reason = CONTROL_FAULT_TELEMETRY_CORRUPT
+        self._log(cgroup.name, cgroup.channels, reason,
+                  old_rate=cgroup.current_rate,
+                  new_rate=cgroup.current_rate)
+
+    # -- actuation pipeline ----------------------------------------------
+
+    def actuate(self, cgroup: ChaosGroup, rate_gbps: float,
+                reactivation_ns: float) -> bool:
+        """One rate command through the faulty pipeline."""
+        sc = self.scenario
+        now = self.sim.now
+        epoch = self.epoch_index(now)
+        group = cgroup.raw
+        name = cgroup.name
+        if (sc.loss is not None and self._active(sc.loss, now)
+                and self._affected("loss", name, sc.loss.fraction)
+                and self._draw("loss", name, epoch) < sc.loss.probability):
+            claimed = _would_change(group, rate_gbps)
+            self.actuations_lost += 1
+            self._log(name, cgroup.channels, CONTROL_FAULT_ACTUATION_LOST,
+                      old_rate=group.current_rate, new_rate=rate_gbps)
+            return claimed
+        if (sc.delay is not None and self._active(sc.delay, now)
+                and self._affected("delay", name, sc.delay.fraction)
+                and self._draw("delay", name, epoch)
+                < sc.delay.probability):
+            claimed = _would_change(group, rate_gbps)
+            self.actuations_delayed += 1
+            self.sim.schedule(sc.delay.epochs * self.epoch_ns,
+                              self._apply_late, group, rate_gbps,
+                              reactivation_ns, daemon=True)
+            self._log(name, cgroup.channels,
+                      CONTROL_FAULT_ACTUATION_DELAYED,
+                      old_rate=group.current_rate, new_rate=rate_gbps)
+            return claimed
+        return group.set_rate(rate_gbps, reactivation_ns)
+
+    def _apply_late(self, group, rate_gbps: float,
+                    reactivation_ns: float) -> None:
+        if not group.is_off:
+            group.set_rate(rate_gbps, reactivation_ns)
+
+    # -- controller lifetime ---------------------------------------------
+
+    def _crash(self, crash: ControllerCrash) -> None:
+        controller = self.controller
+        if controller._stopped:
+            return
+        controller.stop()
+        self.crashes += 1
+        self._log(CONTROLLER_GROUP, (), CONTROL_FAULT_CRASH,
+                  old_rate=None, new_rate=None)
+        if crash.restart_after_epochs is not None:
+            self.sim.schedule(crash.restart_after_epochs * self.epoch_ns,
+                              self._restart, daemon=True)
+
+    def _restart(self) -> None:
+        self.restarts += 1
+        self.controller.cold_restart()
+        self._log(CONTROLLER_GROUP, (), CONTROL_FAULT_RESTART,
+                  old_rate=None, new_rate=None)
+
+    # -- audit ------------------------------------------------------------
+
+    def _log(self, group: str, channels, reason: str,
+             old_rate: Optional[float],
+             new_rate: Optional[float]) -> None:
+        if self.decision_log is None:
+            return
+        self.decision_log.record(Decision(
+            time_ns=self.sim.now, controller="chaos", group=group,
+            channels=tuple(ch.name for ch in channels),
+            old_rate=old_rate, new_rate=new_rate, reason=reason,
+            changed=False))
+
+    def digest(self) -> Dict[str, object]:
+        """JSON-safe injection accounting for the run summary."""
+        return {
+            "telemetry_lost": self.telemetry_lost,
+            "telemetry_stale": self.telemetry_stale,
+            "telemetry_corrupt": self.telemetry_corrupt,
+            "actuations_lost": self.actuations_lost,
+            "actuations_delayed": self.actuations_delayed,
+            "crashes": self.crashes,
+            "restarts": self.restarts,
+            "max_lost_streak": self.max_lost_streak,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Named-scenario registry (mirrors repro.faults.scenario)
+# ---------------------------------------------------------------------------
+
+_CONTROL_SCENARIOS: Dict[str, Callable] = {}
+
+
+def register_control_scenario(name: str, builder: Callable) -> None:
+    """Register ``builder(spec) -> ControlFaultScenario`` under a name
+    usable as ``SimulationSpec.control_faults``."""
+    if name in _CONTROL_SCENARIOS:
+        raise ValueError(
+            f"control-fault scenario {name!r} is already registered")
+    _CONTROL_SCENARIOS[name] = builder
+
+
+def control_scenario_registered(name: str) -> bool:
+    """Whether a control-fault scenario name is registered."""
+    return name in _CONTROL_SCENARIOS
+
+
+def registered_control_scenarios() -> List[str]:
+    """All registered control-fault scenario names, sorted."""
+    return sorted(_CONTROL_SCENARIOS)
+
+
+def build_control_scenario(name: str, spec) -> ControlFaultScenario:
+    """Build the named scenario for one spec (seeded by
+    ``spec.fault_seed``, windowed by ``spec.duration_ns``)."""
+    try:
+        builder = _CONTROL_SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown control-fault scenario {name!r}; registered: "
+            f"{', '.join(registered_control_scenarios()) or '(none)'}"
+        ) from None
+    return builder(spec)
+
+
+# -- built-in scenarios ------------------------------------------------------
+
+def _ctl_dropout(spec) -> ControlFaultScenario:
+    d = spec.duration_ns
+    return ControlFaultScenario(
+        name="ctl_dropout", seed=spec.fault_seed,
+        dropout=TelemetryDropout(fraction=0.6, probability=0.9,
+                                 start_ns=0.2 * d, end_ns=0.8 * d))
+
+
+def _ctl_stale(spec) -> ControlFaultScenario:
+    d = spec.duration_ns
+    return ControlFaultScenario(
+        name="ctl_stale", seed=spec.fault_seed,
+        stale=StaleTelemetry(epochs=5, fraction=0.5, start_ns=0.2 * d))
+
+
+def _ctl_corrupt(spec) -> ControlFaultScenario:
+    d = spec.duration_ns
+    return ControlFaultScenario(
+        name="ctl_corrupt", seed=spec.fault_seed,
+        corrupt=CorruptReading(kind="stuck", value=1.0, fraction=0.3,
+                               start_ns=0.2 * d))
+
+
+def _ctl_lossy(spec) -> ControlFaultScenario:
+    d = spec.duration_ns
+    return ControlFaultScenario(
+        name="ctl_lossy", seed=spec.fault_seed,
+        loss=DecisionLoss(probability=0.5, start_ns=0.1 * d),
+        delay=DecisionDelay(epochs=2, fraction=0.5, probability=0.5,
+                            start_ns=0.1 * d))
+
+
+def _ctl_crash(spec) -> ControlFaultScenario:
+    d = spec.duration_ns
+    return ControlFaultScenario(
+        name="ctl_crash", seed=spec.fault_seed,
+        crashes=(ControllerCrash(time_ns=0.3 * d,
+                                 restart_after_epochs=10),))
+
+
+def _ctl_chaos(level: str, intensity: float) -> Callable:
+    """Composite chaos at a given intensity: dropout + command loss +
+    (at mid/high) a crash-with-cold-restart.
+
+    Deliberately no :class:`CorruptReading`: a corrupt report is
+    indistinguishable from a true one at the transport layer, so no
+    transport-level failsafe can tell them apart — the cross-check for
+    lying sensors lives in the fault-aware controller's queue-fraction
+    comparison (PR 4), not here.
+    """
+    def build(spec) -> ControlFaultScenario:
+        d = spec.duration_ns
+        crashes = ()
+        if intensity >= 0.5:
+            crashes = (ControllerCrash(time_ns=0.45 * d,
+                                       restart_after_epochs=8),)
+        return ControlFaultScenario(
+            name=f"ctl_chaos_{level}", seed=spec.fault_seed,
+            dropout=TelemetryDropout(
+                fraction=min(1.0, 0.35 + 0.5 * intensity),
+                probability=0.9, start_ns=0.15 * d, end_ns=0.85 * d),
+            loss=DecisionLoss(probability=0.4 * intensity,
+                              start_ns=0.1 * d),
+            stale=StaleTelemetry(epochs=4,
+                                 fraction=min(1.0, 0.3 * intensity),
+                                 start_ns=0.1 * d),
+            crashes=crashes)
+    return build
+
+
+register_control_scenario("ctl_dropout", _ctl_dropout)
+register_control_scenario("ctl_stale", _ctl_stale)
+register_control_scenario("ctl_corrupt", _ctl_corrupt)
+register_control_scenario("ctl_lossy", _ctl_lossy)
+register_control_scenario("ctl_crash", _ctl_crash)
+register_control_scenario("ctl_chaos_low", _ctl_chaos("low", 0.4))
+register_control_scenario("ctl_chaos_mid", _ctl_chaos("mid", 0.7))
+register_control_scenario("ctl_chaos_high", _ctl_chaos("high", 1.0))

@@ -192,6 +192,36 @@ class FaultAwareEpochController(EpochController):
 
     # ------------------------------------------------------------------
 
+    def _reset_volatile_state(self) -> None:
+        """Cold restart forgets gating bookkeeping.
+
+        After a :meth:`~repro.core.controller.EpochController.
+        cold_restart` the replacement process no longer knows which
+        groups *it* powered off: ``_campaign_pass`` only probes groups
+        in ``_gated`` awake, so a gated-off link would stay dark
+        forever.  This is deliberate — stranding powered-off links is
+        exactly the crash hazard the failsafe guard's recovery path
+        (:class:`repro.core.failsafe.FailsafeGuard`) exists to catch.
+        """
+        super()._reset_volatile_state()
+        self._idle.clear()
+        self._gated.clear()
+        self._asleep.clear()
+
+    def release_gate(self, name: str) -> None:
+        """Drop gating claims on a group an external actor woke.
+
+        The failsafe guard calls this after powering a stranded group
+        back on so the controller does not immediately re-drain a link
+        it still believes is asleep (or re-gate it off the stale idle
+        streak accrued while telemetry was dark).
+        """
+        self._gated.discard(name)
+        self._asleep.pop(name, None)
+        self._idle[name] = 0
+
+    # ------------------------------------------------------------------
+
     def _on_epoch(self) -> None:
         if self._stopped:
             return

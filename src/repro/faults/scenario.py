@@ -243,6 +243,18 @@ def _mtbf(spec) -> FaultScenario:
                                  fraction=0.35))
 
 
+def _quiet(spec) -> FaultScenario:
+    """No data-plane faults at all.
+
+    The fault-free arm of a campaign on identical footing: restricted
+    routing, drop accounting and BFS partition detection are attached
+    exactly as in the faulted arms (a gating controller can dark links
+    on its own, so even a healthy-fabric arm needs them), but the
+    injector schedules nothing.
+    """
+    return FaultScenario(name="quiet", seed=spec.fault_seed)
+
+
 def _mtbf_clean(spec) -> FaultScenario:
     """Random link faults only — honest sensors."""
     return FaultScenario(
@@ -288,6 +300,7 @@ def _noisy_sensor(spec) -> FaultScenario:
                                  fraction=1.0))
 
 
+register_scenario("quiet", _quiet)
 register_scenario("mtbf", _mtbf)
 register_scenario("mtbf_clean", _mtbf_clean)
 register_scenario("flap", _flap)

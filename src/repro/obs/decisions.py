@@ -62,6 +62,30 @@ with ``changed=False`` so they never perturb the transition audit
 - ``pinned_hold`` — gating wanted a group off but the spanning-set
   guard pinned it at minimum-rate-on instead.
 
+The control-plane chaos layer (:mod:`repro.faults.control_faults`) and
+its failsafe counterpart (:mod:`repro.core.failsafe`) add eleven codes,
+all emitted with ``changed=False`` by the injection/guard machinery
+itself (guard *actuations* that change a rate are separately counted in
+the guard's own ``reconfigurations``, summed into the run total):
+
+- ``control_fault_telemetry_lost`` / ``_stale`` / ``_corrupt`` — what
+  the chaos layer did to a group's epoch reading before the controller
+  saw it (lost readings are delivered as zeros: the naive controller
+  mistakes silence for idleness).
+- ``control_fault_actuation_lost`` / ``_delayed`` — a controller rate
+  command that was dropped (the controller *believes* it applied) or
+  deferred by the actuation path.
+- ``control_fault_crash`` / ``control_fault_restart`` — the controller
+  process died / came back with cold (empty) volatile state.
+- ``failsafe_hold`` — bounded-staleness fallback: telemetry went dark
+  and the guard re-applied the last known-good rate within its TTL.
+- ``failsafe_deadman`` — the deadman watchdog ramped a silent group to
+  the safe rate floor (and woke it if gating had powered it off).
+- ``failsafe_retry`` — the guard detected an intended-vs-actual rate
+  mismatch and re-issued the actuation (seeded exponential backoff).
+- ``failsafe_recovered`` — crash recovery: the guard reconstructed
+  lost controller intent from its decision journal after a restart.
+
 The taxonomy is **closed**: :meth:`DecisionLog.record` raises
 ``ValueError`` on a reason outside :data:`REASONS` rather than silently
 counting a typo as a new category (aggregate counters keyed by
@@ -93,6 +117,29 @@ PARTITION = "partition"
 GATED_OFF = "gated_off"
 GATED_WAKE = "gated_wake"
 PINNED_HOLD = "pinned_hold"
+CONTROL_FAULT_TELEMETRY_LOST = "control_fault_telemetry_lost"
+CONTROL_FAULT_TELEMETRY_STALE = "control_fault_telemetry_stale"
+CONTROL_FAULT_TELEMETRY_CORRUPT = "control_fault_telemetry_corrupt"
+CONTROL_FAULT_ACTUATION_LOST = "control_fault_actuation_lost"
+CONTROL_FAULT_ACTUATION_DELAYED = "control_fault_actuation_delayed"
+CONTROL_FAULT_CRASH = "control_fault_crash"
+CONTROL_FAULT_RESTART = "control_fault_restart"
+FAILSAFE_HOLD = "failsafe_hold"
+FAILSAFE_DEADMAN = "failsafe_deadman"
+FAILSAFE_RETRY = "failsafe_retry"
+FAILSAFE_RECOVERED = "failsafe_recovered"
+
+#: The control-plane chaos subset (what the fault injector did).
+CONTROL_FAULT_REASONS = (CONTROL_FAULT_TELEMETRY_LOST,
+                         CONTROL_FAULT_TELEMETRY_STALE,
+                         CONTROL_FAULT_TELEMETRY_CORRUPT,
+                         CONTROL_FAULT_ACTUATION_LOST,
+                         CONTROL_FAULT_ACTUATION_DELAYED,
+                         CONTROL_FAULT_CRASH, CONTROL_FAULT_RESTART)
+
+#: The failsafe-guard subset (how the guard compensated).
+FAILSAFE_REASONS = (FAILSAFE_HOLD, FAILSAFE_DEADMAN,
+                    FAILSAFE_RETRY, FAILSAFE_RECOVERED)
 
 #: Every legal reason code (closed set; ``DecisionLog.record`` rejects
 #: anything else).
@@ -100,7 +147,8 @@ REASONS = (ABOVE_THRESHOLD, BELOW_THRESHOLD, REACTIVATION_PENDING,
            CLAMPED_MAX, CLAMPED_MIN, HOLD, POWERED_OFF,
            FORECAST_RAMP_UP, FORECAST_HOLD, FORECAST_MISS,
            FAULT_DOWN, FAULT_REPAIR, PARTITION,
-           GATED_OFF, GATED_WAKE, PINNED_HOLD)
+           GATED_OFF, GATED_WAKE, PINNED_HOLD) \
+    + CONTROL_FAULT_REASONS + FAILSAFE_REASONS
 
 #: The fault-campaign subset (rendered on the trace's fault track).
 FAULT_REASONS = (FAULT_DOWN, FAULT_REPAIR, PARTITION,
@@ -214,6 +262,11 @@ class DecisionLog:
         #: ``(old_rate, new_rate) -> count`` over *initiated* transitions.
         self.transition_counts: Dict[Tuple[float, float], int] = {}
         self.decisions_recorded = 0
+        #: Observer callables invoked with every recorded
+        #: :class:`Decision` (after validation and counting).  The
+        #: failsafe guard registers one to journal controller intent;
+        #: empty by default, so the hot path pays one truthiness check.
+        self.taps: List = []
         self._spill_path = Path(spill_path) if spill_path else None
         self._spill_file = None
         if self._spill_path is not None:
@@ -247,6 +300,9 @@ class DecisionLog:
         if self._spill_file is not None:
             self._spill_file.write(
                 json.dumps(decision.to_dict(), sort_keys=True) + "\n")
+        if self.taps:
+            for tap in self.taps:
+                tap(decision)
 
     def epoch_mark(self, time_ns: float) -> None:
         """Record one controller epoch boundary."""

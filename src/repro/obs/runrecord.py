@@ -130,13 +130,15 @@ class RunRecordWriter:
         return self._append(record)
 
     def record_failure(self, spec: SimulationSpec,
-                       error: BaseException) -> Dict[str, Any]:
+                       error: BaseException,
+                       attempts: int = 1) -> Dict[str, Any]:
         """Append a record for a spec that failed execution and retry.
 
-        Failure records carry ``"failed": true`` and the stringified
-        error instead of metrics/decisions, so a log consumer can
-        account for every submitted spec even when some never produced
-        a summary.
+        Failure records carry ``"failed": true``, the stringified
+        error and the total execution ``attempts`` (first try plus
+        retries) instead of metrics/decisions, so a log consumer can
+        account for every submitted spec — and its retry budget —
+        even when some never produced a summary.
         """
         record = {
             "record_schema": RUN_RECORD_SCHEMA_VERSION,
@@ -147,6 +149,7 @@ class RunRecordWriter:
             "cached": False,
             "failed": True,
             "error": f"{type(error).__name__}: {error}",
+            "attempts": attempts,
             "provenance": self.provenance,
         }
         return self._append(record)

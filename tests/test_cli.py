@@ -183,6 +183,61 @@ class TestObsFlags:
         assert "total" in payload
 
 
+class TestChaosCli:
+    def test_parser_defaults_are_the_campaign_constants(self):
+        from repro.cli import build_chaos_parser
+        from repro.experiments import chaos
+
+        args = build_chaos_parser().parse_args([])
+        assert args.compare is False
+        assert args.json_out is None
+        assert args.seed == chaos.CAMPAIGN_SEED
+        assert args.fault_seed == chaos.CAMPAIGN_FAULT_SEED
+        assert args.retries is None
+
+    def test_parser_accepts_the_gate_flags(self, tmp_path):
+        from repro.cli import build_chaos_parser
+
+        args = build_chaos_parser().parse_args(
+            ["--compare", "--json-out", str(tmp_path / "v.json"),
+             "--retries", "3", "--no-cache"])
+        assert args.compare is True
+        assert args.json_out == tmp_path / "v.json"
+        assert args.retries == 3
+        assert args.no_cache is True
+
+    def test_chaos_campaign_is_a_registered_experiment(self):
+        assert "chaos-campaign" in EXPERIMENTS
+        args = build_parser().parse_args(["chaos-campaign"])
+        assert args.experiment == "chaos-campaign"
+
+
+class TestPerfCompareErrors:
+    def test_missing_baseline_is_actionable_not_a_traceback(
+            self, tmp_path, capsys):
+        missing = tmp_path / "BENCH_suite.json"
+        assert main(["perf", "compare", "--baseline",
+                     str(missing)]) == 1
+        err = capsys.readouterr().err
+        assert str(missing) in err
+        assert "make perf-baseline" in err
+
+    def test_corrupt_baseline_names_the_fix(self, tmp_path, capsys):
+        bad = tmp_path / "BENCH_suite.json"
+        bad.write_text("{not json")
+        assert main(["perf", "compare", "--baseline", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "unusable" in err
+        assert "make perf-baseline" in err
+
+    def test_schema_drift_is_caught_too(self, tmp_path, capsys):
+        bad = tmp_path / "BENCH_suite.json"
+        bad.write_text('{"schema": 999999}')
+        assert main(["perf", "compare", "--baseline", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "unusable" in err
+
+
 class TestObsCli:
     def _write_log(self, tmp_path):
         log = tmp_path / "runs.jsonl"

@@ -86,3 +86,156 @@ class TestRepairInteractions:
         injector.fail_link(1000.0, 2, 3, repair_after_ns=1.0)
         net.run(until_ns=10_000.0)
         assert not net.switch_channel(2, 3).is_off
+
+
+def hosts_on_switch(net, switch_id):
+    return [h for h in range(net.topology.num_hosts)
+            if net.topology.host_switch(h) == switch_id]
+
+
+class TestSimultaneousChipAndLinkFaults:
+    """BFS partition detection under compound (chip + link) faults.
+
+    The k=4, n=2 FBFLY is a full mesh of 4 switches (6 links, 4 hosts
+    per switch): killing one chip isolates exactly that switch.
+    """
+
+    def test_chip_death_plus_link_fault_detects_the_partition(self):
+        # Switch 2's chip dies at the same instant the 0-1 link fails:
+        # from switch 1 the direct hop (1->2), the up-detour (also
+        # into 2) and the down-detour (1->0, the failed link) are all
+        # dark, so routing dead-ends immediately.  The BFS detector
+        # must prove the singleton partition {2} on the first
+        # undeliverable packet, not crash, and not count the
+        # healthy-but-degraded remainder {0, 1, 3} as partitioned.
+        net = make_network()
+        injector = LinkFaultInjector(net)
+        injector.fail_switch(10_000.0, 2)
+        injector.fail_link(10_000.0, 0, 1)       # same timestamp
+        victim = hosts_on_switch(net, 2)[0]
+        src = hosts_on_switch(net, 1)[0]
+        for i in range(4):
+            net.submit(20_000.0 + i * 1_000.0, src=src, dst=victim,
+                       size_bytes=1024)
+        net.run(until_ns=200_000.0)
+        assert injector.faults_applied == 4      # 3 incident + 1 link
+        assert injector.dropped_packets >= 4
+        assert len(injector.partitions) == 1     # once per signature
+        event = injector.partitions[0]
+        sizes = sorted(len(c) for c in event.components)
+        assert sizes == [1, 3]
+        assert (2,) in event.components
+
+    def test_partition_heals_and_is_redetected_as_new_signature(self):
+        # Chip repair reconnects the fabric; a *different* chip dying
+        # afterwards is a new component signature and must be recorded
+        # as a second partition event, not deduplicated against the
+        # first.  Both dead chips (3, then 0) sit on the ring's 0<->3
+        # wrap, so every detour around them is provably dark and the
+        # doomed packets dead-end at a switch with no candidates
+        # instead of circling the healthy remainder.
+        net = make_network()
+        injector = LinkFaultInjector(net)
+        injector.fail_switch(10_000.0, 3, repair_after_ns=50_000.0)
+        injector.fail_switch(150_000.0, 0)
+        victim3 = hosts_on_switch(net, 3)[0]
+        victim0 = hosts_on_switch(net, 0)[0]
+        src = hosts_on_switch(net, 1)[0]
+        net.submit(20_000.0, src=src, dst=victim3, size_bytes=1024)
+        # After switch 3's repair, traffic to it flows again...
+        net.submit(100_000.0, src=src, dst=victim3, size_bytes=1024)
+        # ...and the second chip death isolates switch 0 instead.
+        net.submit(160_000.0, src=src, dst=victim0, size_bytes=1024)
+        stats = net.run(until_ns=400_000.0)
+        assert len(injector.partitions) == 2
+        first, second = injector.partitions
+        assert (3,) in first.components
+        assert (0,) in second.components
+        assert stats.packets_dropped == 2        # healed window delivered
+
+    def test_connected_fabric_under_compound_faults_records_none(self):
+        # Chip + link faults that leave the fabric connected must not
+        # record a partition even while packets drop at local routing
+        # dead-ends: reachability, not drops, defines a partition.
+        net = make_network()
+        injector = LinkFaultInjector(net)
+        # Two of the six mesh links down: 0-2, 0-3, 1-2 and 1-3 still
+        # span all four switches.
+        injector.fail_link(10_000.0, 0, 1)
+        injector.fail_link(10_000.0, 2, 3)
+        n = net.topology.num_hosts
+        for i in range(60):
+            net.submit(20_000.0 + i * 2_000.0, src=i % n,
+                       dst=(i + 7) % n, size_bytes=2048)
+        net.run(until_ns=500_000.0)
+        assert injector.faults_applied == 2
+        assert injector.partitions == []
+
+
+class TestRepairRacesDeferredPowerOff:
+    """Repairs landing while ``_defer_power_off`` is still polling."""
+
+    def make_busy_network(self):
+        # A 32 kB MTU makes one packet a ~6.5 us transmission at
+        # 40 Gb/s, so a fault at 8 us lands mid-serialization and the
+        # injector must defer the hard power-off.
+        return FbflyNetwork(
+            FlattenedButterfly(k=4, n=2),
+            NetworkConfig(seed=71, mtu_bytes=32768,
+                          queue_capacity_bytes=65536,
+                          credit_bytes=65536),
+            routing_factory=RestrictedAdaptiveRouting)
+
+    def test_repair_before_drain_cancels_the_pending_power_off(self):
+        net = self.make_busy_network()
+        injector = LinkFaultInjector(net)
+        ch = net.switch_channel(0, 1)
+        net.submit(0.0, src=0, dst=5, size_bytes=32768)
+        # Fault at 8 us (mid-transmission, drain ends ~13.3 us); the
+        # repair at 10 us beats the drain, so the deferred power-off
+        # must stand down instead of darkening a repaired link.
+        injector.fail_link(8_000.0, 0, 1, repair_after_ns=2_000.0)
+        net.run(until_ns=60_000.0)
+        assert not ch.is_off
+        assert not ch.draining
+        # The repaired link carries traffic again.
+        for i in range(10):
+            net.submit(70_000.0 + i * 2_000.0, src=0, dst=5,
+                       size_bytes=4096)
+        stats = net.run()
+        assert stats.delivered_fraction() == pytest.approx(1.0)
+        assert injector.repairs_applied == 1
+        assert not injector.records[0].power_off_timeout
+
+    def test_exhausted_defer_budget_leaves_channel_draining(self):
+        net = self.make_busy_network()
+        injector = LinkFaultInjector(net, max_defer_polls=2)
+        ch = net.switch_channel(0, 1)
+        net.submit(0.0, src=0, dst=5, size_bytes=32768)
+        injector.fail_link(8_000.0, 0, 1)
+        net.run(until_ns=60_000.0)
+        # Budget (2 polls x 100 ns) expires long before the ~5 us of
+        # remaining drain: the injector gives up, records why, and the
+        # channel stays draining (unusable but accounted) not off.
+        record = injector.records[0]
+        assert record.power_off_timeout is True
+        assert not ch.is_off
+        assert ch.draining
+
+    def test_repair_after_timeout_restores_the_draining_channel(self):
+        net = self.make_busy_network()
+        injector = LinkFaultInjector(net, max_defer_polls=2)
+        ch = net.switch_channel(0, 1)
+        net.submit(0.0, src=0, dst=5, size_bytes=32768)
+        injector.fail_link(8_000.0, 0, 1, repair_after_ns=100_000.0)
+        net.run(until_ns=60_000.0)
+        assert injector.records[0].power_off_timeout is True
+        assert ch.draining                       # stuck until repair
+        net.run(until_ns=150_000.0)
+        assert not ch.is_off
+        assert not ch.draining                   # repair cleared it
+        for i in range(10):
+            net.submit(160_000.0 + i * 2_000.0, src=0, dst=5,
+                       size_bytes=4096)
+        stats = net.run()
+        assert stats.delivered_fraction() == pytest.approx(1.0)

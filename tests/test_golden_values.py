@@ -69,6 +69,29 @@ class TestGoldenFiles:
         assert (gated["faults"]["partitions"] >= 1
                 or gated["faults"]["drop_bursts"] >= 1)
 
+    def test_chaos_campaign_digest_matches(self):
+        frozen = golden.load(GOLDEN_DIR, "chaos")
+        golden.assert_close(frozen, golden.chaos_payload())
+
+    def test_chaos_campaign_verdict_frozen(self):
+        # The tentpole's acceptance demo, spelled out: every failsafe
+        # arm meets the SLOs (zero partitions, bounded latency and
+        # power vs the fault-free reference) on the same chaos where
+        # every unprotected arm violates at least one.
+        frozen = golden.load(GOLDEN_DIR, "chaos")
+        assert frozen["failsafe_ok"] is True
+        assert frozen["unprotected_degraded"] is True
+        verdict = frozen["verdict"]
+        assert verdict["ok"] is True
+        for arm in verdict["arms"]:
+            if arm["label"].endswith("/failsafe"):
+                assert arm["slo_ok"] is True
+                assert arm["partitions"] == 0
+                assert arm["delivered_fraction"] >= 0.999
+            else:
+                assert arm["slo_ok"] is False
+                assert "latency" in arm["violations"]
+
 
 class TestAssertClose:
     def test_accepts_tiny_float_noise(self):

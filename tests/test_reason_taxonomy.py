@@ -1,0 +1,154 @@
+"""Taxonomy drift gate: every reason emitted in src/ is registered.
+
+The decision log's reason taxonomy is *closed*:
+``DecisionLog.record`` raises on any reason not in
+``repro.obs.decisions.REASONS``.  That guards runtime — but only for
+code paths a test actually exercises.  This module closes the gap
+statically: it AST-scans every module under ``src/`` and asserts that
+
+- every uppercase string constant defined in
+  :mod:`repro.obs.decisions` (the taxonomy's home) is a member of
+  ``REASONS`` — adding a new reason code without registering it is the
+  classic drift;
+- every ``reason="..."`` string literal at any call site in ``src/``
+  is registered;
+- every name imported *from* ``repro.obs.decisions`` anywhere in
+  ``src/`` that resolves to a string is registered — controllers pass
+  reasons through variables (``reason=reason``), but the constants
+  they feed in are all imported from the taxonomy module, so resolving
+  the imports covers those flows too.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, List, Set, Tuple
+
+import repro.obs.decisions as decisions
+from repro.obs.decisions import REASONS
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src"
+
+#: Names in repro.obs.decisions that are uppercase but not reason
+#: codes (tuples-of-reasons and similar groupings).
+NON_REASON_CONSTANTS = {
+    "REASONS", "FAULT_REASONS", "CONTROL_FAULT_REASONS",
+    "FAILSAFE_REASONS",
+}
+
+
+def _src_modules() -> List[Path]:
+    files = sorted(SRC_ROOT.rglob("*.py"))
+    assert files, f"no python sources under {SRC_ROOT}"
+    return files
+
+
+def _parsed(path: Path) -> ast.Module:
+    return ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+
+
+def _iter_reason_literals(tree: ast.Module) -> Iterator[str]:
+    """Every string literal passed as a ``reason=`` keyword."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        for keyword in node.keywords:
+            if keyword.arg != "reason":
+                continue
+            if (isinstance(keyword.value, ast.Constant)
+                    and isinstance(keyword.value.value, str)):
+                yield keyword.value.value
+
+
+def _iter_taxonomy_imports(tree: ast.Module) -> Iterator[str]:
+    """Every name imported from repro.obs.decisions."""
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.ImportFrom)
+                and node.module == "repro.obs.decisions"):
+            for alias in node.names:
+                yield alias.name
+
+
+class TestTaxonomyIsClosed:
+    def test_reasons_are_unique(self):
+        assert len(REASONS) == len(set(REASONS))
+
+    def test_every_constant_in_decisions_module_is_registered(self):
+        """Adding a reason constant without registering it is drift."""
+        tree = _parsed(SRC_ROOT / "repro" / "obs" / "decisions.py")
+        unregistered = []
+        for node in tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if not (isinstance(target, ast.Name)
+                        and target.id.isupper()
+                        and target.id not in NON_REASON_CONSTANTS):
+                    continue
+                if (isinstance(node.value, ast.Constant)
+                        and isinstance(node.value.value, str)
+                        and node.value.value not in REASONS):
+                    unregistered.append(
+                        f"{target.id} = {node.value.value!r}")
+        assert not unregistered, (
+            "reason constants defined in repro.obs.decisions but "
+            f"missing from REASONS: {unregistered}")
+
+    def test_grouping_tuples_are_subsets_of_reasons(self):
+        for name in NON_REASON_CONSTANTS - {"REASONS"}:
+            group = getattr(decisions, name)
+            missing = [r for r in group if r not in REASONS]
+            assert not missing, f"{name} has unregistered members {missing}"
+
+
+class TestEmittedReasonsAreRegistered:
+    def _violations(self) -> List[Tuple[Path, str]]:
+        out = []
+        for path in _src_modules():
+            tree = _parsed(path)
+            for literal in _iter_reason_literals(tree):
+                if literal not in REASONS:
+                    out.append((path, f"reason={literal!r}"))
+        return out
+
+    def test_every_reason_literal_in_src_is_registered(self):
+        violations = self._violations()
+        assert not violations, (
+            "unregistered reason literals emitted in src/: "
+            + "; ".join(f"{p.relative_to(SRC_ROOT)}: {what}"
+                        for p, what in violations))
+
+    def test_every_imported_taxonomy_name_is_registered(self):
+        """Controllers route reasons through variables; the constants
+        they start from are imported from the taxonomy module, so an
+        unregistered import is an unregistered emission waiting to
+        happen."""
+        seen: Set[str] = set()
+        violations = []
+        for path in _src_modules():
+            for name in _iter_taxonomy_imports(_parsed(path)):
+                if name in seen:
+                    continue
+                seen.add(name)
+                value = getattr(decisions, name, None)
+                if isinstance(value, str) and value not in REASONS:
+                    violations.append(
+                        f"{path.relative_to(SRC_ROOT)} imports "
+                        f"{name} = {value!r}")
+        assert seen, "no taxonomy imports found in src/ (scan broken?)"
+        assert not violations, (
+            "unregistered taxonomy imports: " + "; ".join(violations))
+
+    def test_scan_actually_sees_known_emitters(self):
+        """Guard the guard: the scanner must find the known emitting
+        modules, or a refactor could silently blind it."""
+        importers = set()
+        for path in _src_modules():
+            if any(True for _ in _iter_taxonomy_imports(_parsed(path))):
+                importers.add(path.name)
+        for expected in ("controller.py", "failsafe.py",
+                         "control_faults.py", "faults.py"):
+            assert expected in importers, (
+                f"{expected} no longer imports from the taxonomy "
+                "module — the drift scan may be blind")

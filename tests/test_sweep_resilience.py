@@ -24,6 +24,10 @@ from repro.obs.runrecord import read_run_log
 #: Env var carrying the kill-sentinel path into forked pool workers.
 _SENTINEL_ENV = "REPRO_TEST_KILL_SENTINEL"
 
+#: Env vars steering the fail-N-times worker (file counter + budget).
+_FAIL_STATE_ENV = "REPRO_TEST_FAIL_STATE"
+_FAILS_NEEDED_ENV = "REPRO_TEST_FAILS_NEEDED"
+
 SPEC_A = SimulationSpec(k=2, n=2, duration_ns=100_000.0)
 SPEC_B = SimulationSpec(k=2, n=2, duration_ns=100_000.0, seed=3)
 
@@ -43,6 +47,16 @@ def _kill_first_worker(spec):
 
 def _always_failing_worker(spec):
     raise RuntimeError(f"synthetic failure for seed {spec.seed}")
+
+
+def _fail_n_times_worker(spec):
+    """Fails the first N calls (file-counted), then computes."""
+    state = Path(os.environ[_FAIL_STATE_ENV])
+    tries = int(state.read_text()) if state.exists() else 0
+    state.write_text(str(tries + 1))
+    if tries < int(os.environ[_FAILS_NEEDED_ENV]):
+        raise RuntimeError(f"synthetic failure #{tries + 1}")
+    return _execute_spec(spec)
 
 
 class TestWorkerDeath:
@@ -118,6 +132,89 @@ class TestPersistentFailure:
             warnings.simplefilter("ignore", RuntimeWarning)
             results = runner.run([SPEC_A, SPEC_B])
         assert len(results) == 2
+
+
+class TestRetryBudget:
+    """The configurable ``--retries`` budget with seeded backoff."""
+
+    def flaky(self, monkeypatch, tmp_path, fails):
+        monkeypatch.setenv(_FAIL_STATE_ENV, str(tmp_path / "tries"))
+        monkeypatch.setenv(_FAILS_NEEDED_ENV, str(fails))
+
+    def test_bigger_budget_outlasts_repeated_failures(
+            self, tmp_path, monkeypatch):
+        # Fails twice, succeeds on the third call: dead under the
+        # default budget of 1, recovered with --retries 3.
+        self.flaky(monkeypatch, tmp_path, fails=2)
+        runner = SweepRunner(jobs=1, use_cache=False, retries=3,
+                             retry_backoff_s=0.0,
+                             worker_fn=_fail_n_times_worker)
+        with pytest.warns(RuntimeWarning, match="retry 1/3"):
+            results = runner.run([SPEC_A])
+        assert set(results) == {SPEC_A}
+        assert runner.last_stats.retried == 2     # two retry attempts
+        assert runner.last_stats.failed == 0
+
+    def test_exhausted_budget_records_total_attempts(
+            self, tmp_path):
+        log = tmp_path / "runs.jsonl"
+        runner = SweepRunner(jobs=1, use_cache=False, retries=2,
+                             retry_backoff_s=0.0, run_log=log,
+                             worker_fn=_always_failing_worker)
+        with pytest.warns(RuntimeWarning, match="retry budget"):
+            results = runner.run([SPEC_A])
+        assert results == {}
+        assert runner.last_stats.retried == 2
+        assert runner.last_stats.failed == 1
+        record = read_run_log(log)[0]
+        assert record["attempts"] == 3            # first try + budget
+
+    def test_zero_budget_disables_the_retry_path(self, tmp_path):
+        log = tmp_path / "runs.jsonl"
+        runner = SweepRunner(jobs=1, use_cache=False, retries=0,
+                             run_log=log,
+                             worker_fn=_always_failing_worker)
+        with pytest.warns(RuntimeWarning, match="retry budget"):
+            results = runner.run([SPEC_A])
+        assert results == {}
+        assert runner.last_stats.retried == 0
+        assert runner.last_stats.failed == 1
+        assert read_run_log(log)[0]["attempts"] == 1
+
+    def test_invalid_budget_and_backoff_are_rejected(self):
+        with pytest.raises(ValueError, match="retries"):
+            SweepRunner(retries=-1)
+        with pytest.raises(ValueError, match="backoff"):
+            SweepRunner(retry_backoff_s=-0.5)
+
+    def test_backoff_is_seeded_exponential_with_bounded_jitter(self):
+        runner = SweepRunner(retry_backoff_s=0.1)
+        # Deterministic: the jitter is drawn from a string-seeded
+        # Random, so repeat calls agree exactly.
+        assert runner._retry_delay(SPEC_A, 2) == \
+            runner._retry_delay(SPEC_A, 2)
+        # Exponential base with jitter in [1, 2): attempt k waits
+        # 0.1 * 2^(k-2) * [1, 2).
+        for attempt in (2, 3, 4):
+            base = 0.1 * 2.0 ** (attempt - 2)
+            delay = runner._retry_delay(SPEC_A, attempt)
+            assert base <= delay < 2.0 * base
+        # Different specs de-synchronize (the anti-stampede property).
+        assert runner._retry_delay(SPEC_A, 2) != \
+            runner._retry_delay(SPEC_B, 2)
+
+    def test_env_var_feeds_the_default_budget(self, monkeypatch):
+        from repro.experiments.sweep import (
+            RETRIES_ENV,
+            _env_default_retries,
+        )
+        monkeypatch.delenv(RETRIES_ENV, raising=False)
+        assert _env_default_retries() is None
+        monkeypatch.setenv(RETRIES_ENV, "4")
+        assert _env_default_retries() == 4
+        monkeypatch.setenv(RETRIES_ENV, "lots")
+        with pytest.raises(ValueError, match=RETRIES_ENV):
+            _env_default_retries()
 
 
 class TestStatsFormatting:
