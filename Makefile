@@ -5,7 +5,7 @@ PY := PYTHONPATH=src python
 JOBS ?= 4
 
 .PHONY: test bench perf perf-quick perf-baseline smoke-sweep chaos \
-	golden-refresh clean-cache
+	topo golden-refresh clean-cache
 
 test:            ## tier-1 test suite
 	$(PY) -m pytest -x -q
@@ -32,6 +32,9 @@ smoke-sweep:     ## quick parallel sweep: figure 7 with 2 workers
 
 chaos:           ## control-plane chaos campaign, gated on the SLO verdict
 	$(PY) -m repro chaos --compare --jobs $(JOBS)
+
+topo:            ## demand-aware topology campaign, gated on its verdict
+	$(PY) -m repro topo --compare --jobs $(JOBS)
 
 golden-refresh:  ## deliberately regenerate tests/golden/*.json
 	$(PY) -m repro golden-refresh --no-cache

@@ -1,0 +1,27 @@
+"""Demand-aware topology control: the third-control-axis campaign.
+
+Static FBFLY, statically degraded, and demand-aware topology control
+across skewed, shifting and diurnal traffic matrices; the campaign's
+verdict (energy win on the gated matrices, bounded latency, zero
+partitions) is asserted here as well as frozen in
+``tests/golden/demand_topology.json``.
+"""
+
+from conftest import run_scenario
+
+
+def test_demand_topology(benchmark, scale):
+    result = run_scenario(benchmark, "demand-topology", scale).payload
+    print("\n" + result.format_table())
+    for line in result.verdict_lines():
+        print(line)
+
+    # The demand-aware arm beats static power on every gated matrix
+    # while staying inside the latency bound...
+    assert result.demand_wins
+    # ...and no arm — including the aggressive static degradation —
+    # ever partitions the fabric or trips the connectivity guard.
+    assert result.safe_everywhere
+    assert result.ok
+    for verdict in result.arm_verdicts():
+        assert verdict.safety_ok, verdict.label

@@ -18,6 +18,7 @@ Usage::
     python -m repro predict --forecaster ewma --oracle
     python -m repro faults --compare               # fault campaign verdict
     python -m repro chaos --compare                # control-plane chaos SLOs
+    python -m repro topo --compare                 # demand-aware topology verdict
 
 Simulation-backed experiments honour ``--scale`` (equivalent to the
 ``REPRO_SCALE`` environment variable); analytic ones ignore it.  Their
@@ -50,6 +51,7 @@ from repro.experiments import (
     sweep,
     asymmetry,
     chaos,
+    demand_topology,
     dynamic_topology,
     energy_aware,
     lane_ladder,
@@ -112,6 +114,9 @@ EXPERIMENTS: Dict[str, tuple] = {
                         fault_tolerance.run),
     "chaos-campaign": ("control-plane chaos sweep: failsafe SLOs vs "
                        "unprotected degradation", True, chaos.run),
+    "demand-topology": ("demand-aware topology control vs static "
+                        "FBFLY/degraded under structured matrices",
+                        True, demand_topology.run),
 }
 
 
@@ -247,7 +252,8 @@ def build_obs_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--out", type=Path, required=True, metavar="PATH",
                       help="output trace JSON file")
     p_tr.add_argument("--workload", default="search",
-                      choices=["uniform", "search", "advert", "bursty"],
+                      choices=["uniform", "search", "advert", "bursty",
+                               "skewed", "shifting", "diurnal"],
                       help="workload to simulate (default: search)")
     p_tr.add_argument("--k", type=int, default=4,
                       help="FBFLY radix per dimension (default: 4)")
@@ -260,7 +266,8 @@ def build_obs_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--control", default="epoch",
                       choices=["epoch", "none", "always_slowest",
                                "predict", "oracle", "fault_gated",
-                               "fault_pinned"],
+                               "fault_pinned", "demand_topo",
+                               "degraded_topo"],
                       help="control mode (default: epoch)")
     p_tr.add_argument("--faults", default=None, metavar="SCENARIO",
                       help="named fault scenario to inject; fault and "
@@ -314,12 +321,15 @@ def _obs_summarize(run_log: Path) -> int:
               f"p50={pct(0.50):.3f} p90={pct(0.90):.3f} "
               f"p99={pct(0.99):.3f} max={walls[-1]:.3f}")
     unaccounted = 0
+    reason_totals: Dict[str, int] = {}
     for record in records:
         spec = record.get("spec", {})
         metrics = record.get("metrics", {})
         ok = transitions_accounted(record)
         unaccounted += 0 if ok else 1
         reasons = record.get("decisions", {}).get("counts", {})
+        for reason, count in reasons.items():
+            reason_totals[reason] = reason_totals.get(reason, 0) + count
         decided = sum(reasons.values())
         print(f"  {str(record.get('cache_key', ''))[:12]} "
               f"{spec.get('workload', '?')} k={spec.get('k', '?')} "
@@ -329,6 +339,14 @@ def _obs_summarize(run_log: Path) -> int:
               f"reconfig={metrics.get('reconfigurations', 0)} "
               f"decisions={decided} "
               f"audit={'ok' if ok else 'MISMATCH'}")
+    if reason_totals:
+        # Per-reason rollup across every record: makes fault-gating and
+        # topology decision volumes auditable without replaying runs.
+        total = sum(reason_totals.values())
+        print(f"decision reasons ({total} total):")
+        for reason in sorted(reason_totals):
+            count = reason_totals[reason]
+            print(f"  {reason:24s} {count:8d} ({count / total:.1%})")
     if unaccounted:
         print(f"AUDIT FAILURE: {unaccounted} record(s) do not account "
               "for every reconfiguration")
@@ -627,6 +645,81 @@ def chaos_main(argv) -> int:
     return 0
 
 
+def build_topo_parser() -> argparse.ArgumentParser:
+    """Construct the parser for the ``topo`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro topo",
+        description="Run the demand-aware topology campaign: static "
+                    "FBFLY, static degraded (express links off) and "
+                    "demand-aware topology control across skewed, "
+                    "shifting and diurnal traffic matrices, with an "
+                    "energy/latency/safety verdict per matrix.",
+    )
+    parser.add_argument(
+        "--compare", action="store_true",
+        help="gate the exit status on the verdict: the demand-aware "
+             "arm must beat static FBFLY on energy at bounded latency "
+             "cost on every gated matrix, with zero partitions and "
+             "zero connectivity-guard violations across all arms")
+    parser.add_argument(
+        "--json-out", type=Path, default=None, metavar="PATH",
+        help="also write the machine-readable verdict as JSON "
+             "(the CI artifact)")
+    parser.add_argument(
+        "--seed", type=int, default=demand_topology.CAMPAIGN_SEED,
+        help=f"workload RNG seed (default: "
+             f"{demand_topology.CAMPAIGN_SEED})")
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="sweep worker processes")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent run cache")
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None, metavar="DIR",
+        help="persistent run-cache directory "
+             "(default: $REPRO_CACHE_DIR or ~/.cache/repro/sweeps)")
+    parser.add_argument(
+        "--run-log", type=Path, default=None, metavar="PATH",
+        help="append one provenance-stamped JSONL run record per "
+             "resolved spec")
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="in-process retry budget per failed sweep spec "
+             "(default: $REPRO_RETRIES or 1)")
+    return parser
+
+
+def topo_main(argv) -> int:
+    """Entry point for ``python -m repro topo ...``."""
+    args = build_topo_parser().parse_args(argv)
+    sweep.configure(jobs=args.jobs, use_cache=not args.no_cache,
+                    cache_dir=args.cache_dir, run_log=args.run_log,
+                    retries=args.retries)
+    before = sweep.active_runner().stats.snapshot()
+    try:
+        result = demand_topology.run(seed=args.seed)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    sweep_delta = sweep.active_runner().stats.delta(before)
+    print(result.format_table())
+    print()
+    for line in result.verdict_lines():
+        print(line)
+    if sweep_delta.submitted:
+        print(f"[sweep: {sweep_delta.format_line()}]")
+    if args.json_out is not None:
+        args.json_out.parent.mkdir(parents=True, exist_ok=True)
+        args.json_out.write_text(
+            json.dumps(result.verdict_dict(), indent=2, sort_keys=True)
+            + "\n")
+        print(f"wrote {args.json_out}")
+    if args.compare:
+        return 0 if result.ok else 1
+    return 0
+
+
 def obs_main(argv) -> int:
     """Entry point for ``python -m repro obs ...``."""
     args = build_obs_parser().parse_args(argv)
@@ -659,7 +752,8 @@ def build_perf_parser() -> argparse.ArgumentParser:
         help="simulate one spec with the wall-clock profiler attached "
              "and print the per-phase time breakdown")
     p_prof.add_argument("--workload", default="search",
-                        choices=["uniform", "search", "advert", "bursty"],
+                        choices=["uniform", "search", "advert", "bursty",
+                                 "skewed", "shifting", "diurnal"],
                         help="workload to simulate (default: search)")
     p_prof.add_argument("--k", type=int, default=4,
                         help="FBFLY radix per dimension (default: 4)")
@@ -672,7 +766,8 @@ def build_perf_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--control", default="epoch",
                         choices=["epoch", "none", "always_slowest",
                                  "predict", "oracle", "fault_gated",
-                                 "fault_pinned"],
+                                 "fault_pinned", "demand_topo",
+                                 "degraded_topo"],
                         help="control mode (default: epoch)")
     p_prof.add_argument("--faults", default=None, metavar="SCENARIO",
                         help="named fault scenario to inject "
@@ -853,6 +948,8 @@ def main(argv=None) -> int:
         return faults_main(list(argv[1:]))
     if argv and argv[0] == "chaos":
         return chaos_main(list(argv[1:]))
+    if argv and argv[0] == "topo":
+        return topo_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
 
     sweep.configure(jobs=args.jobs, use_cache=not args.no_cache,

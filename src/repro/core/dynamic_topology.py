@@ -22,6 +22,14 @@ true power-off state:
   drained.  Powering *up* pays a normal reactivation.
 
 Host links are never powered off — a host would be disconnected.
+
+Mode transitions are audited: each ``_set_mode`` step emits one
+``topology_off`` (stepping down the ladder) or ``topology_on``
+(stepping up) record per affected link class into the optional
+:class:`~repro.obs.decisions.DecisionLog`, with the mode names in
+``old_mode``/``new_mode`` — the same closed taxonomy every other
+control path reports through, so degrade decisions are no longer
+invisible to the audit layer.
 """
 
 from __future__ import annotations
@@ -30,6 +38,12 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
+from repro.obs.decisions import (
+    Decision,
+    DecisionLog,
+    TOPOLOGY_OFF,
+    TOPOLOGY_ON,
+)
 from repro.sim.channel import Channel
 from repro.topology.mesh_torus import LinkClass, classify_links
 from repro.units import US, gbps_to_bytes_per_ns
@@ -102,9 +116,13 @@ class DynamicTopologyController:
     """Walks the MESH <-> TORUS <-> FBFLY ladder with offered load."""
 
     def __init__(self, network: "FbflyNetwork",
-                 config: DynamicTopologyConfig = DynamicTopologyConfig()):
+                 config: DynamicTopologyConfig = DynamicTopologyConfig(),
+                 decision_log: Optional[DecisionLog] = None,
+                 name: str = "dynamic_topology"):
         self.network = network
         self.config = config
+        self.decision_log = decision_log
+        self.name = name
         self.mode = config.start_mode
         #: (time_ns, mode) transition history, starting with the initial mode.
         self.mode_history: List[Tuple[float, TopologyMode]] = [
@@ -201,9 +219,35 @@ class DynamicTopologyController:
     def _set_mode(self, mode: TopologyMode) -> None:
         if mode == self.mode:
             return
+        old_mode = self.mode
         self.mode = mode
         self.mode_history.append((self.network.sim.now, mode))
+        self._log_transition(old_mode, mode)
         self._apply_mode()
+
+    def _log_transition(self, old_mode: TopologyMode,
+                        new_mode: TopologyMode) -> None:
+        """One audit record per link class this mode step toggles."""
+        if self.decision_log is None:
+            return
+        was_off = _OFF_CLASSES[old_mode]
+        now_off = _OFF_CLASSES[new_mode]
+        ladder = self.network.config.ladder
+        for cls in sorted(was_off ^ now_off, key=lambda c: c.value):
+            going_off = cls in now_off
+            channels = tuple(sorted(
+                ch.name for ch, c in self._channel_class.items()
+                if c is cls))
+            self.decision_log.record(Decision(
+                time_ns=self.network.sim.now, controller=self.name,
+                group=cls.value, channels=channels,
+                old_rate=(ladder.max_rate if going_off else None),
+                new_rate=(None if going_off else ladder.max_rate),
+                reason=(TOPOLOGY_OFF if going_off else TOPOLOGY_ON),
+                changed=False,
+                reactivation_ns=(0.0 if going_off
+                                 else self.config.reactivation_ns),
+                old_mode=old_mode.name, new_mode=new_mode.name))
 
     def _apply_mode(self) -> None:
         off_classes = _OFF_CLASSES[self.mode]

@@ -33,11 +33,13 @@ fabric safe with four mechanisms:
   (``failsafe_retry``).
 - **Crash recovery from the DecisionLog** — the guard taps the
   decision log (:attr:`repro.obs.decisions.DecisionLog.taps`) and
-  journals power events (``gated_off`` / ``gated_wake``) and controller
-  restarts.  A group that is still powered off after a restart, whose
-  journal shows the *pre-crash* controller gated it, is stranded — the
-  cold-restarted controller no longer knows it owns that link — so the
-  guard reconstructs the lost intent and wakes it
+  journals power events (``gated_off`` / ``gated_wake``, and the
+  topology controller's ``topology_off`` / ``topology_on`` — a
+  demand-darkened link group is exactly as strandable as a gated one)
+  and controller restarts.  A group that is still powered off after a
+  restart, whose journal shows the *pre-crash* controller gated it, is
+  stranded — the cold-restarted controller no longer knows it owns
+  that link — so the guard reconstructs the lost intent and wakes it
   (``failsafe_recovered``).
 
 The guard is **inert on a healthy control plane**: with no chaos layer
@@ -67,6 +69,8 @@ from repro.obs.decisions import (
     FAILSAFE_RETRY,
     GATED_OFF,
     GATED_WAKE,
+    TOPOLOGY_OFF,
+    TOPOLOGY_ON,
     Decision,
     DecisionLog,
 )
@@ -236,9 +240,9 @@ class FailsafeGuard:
         reason = decision.reason
         if reason == CONTROL_FAULT_RESTART:
             self._last_restart_ns = decision.time_ns
-        elif reason == GATED_OFF:
+        elif reason in (GATED_OFF, TOPOLOGY_OFF):
             self._journal[decision.group] = ("off", decision.time_ns)
-        elif reason == GATED_WAKE:
+        elif reason in (GATED_WAKE, TOPOLOGY_ON):
             self._journal[decision.group] = ("on", decision.time_ns)
 
     # -- actuation filter (called via GuardedGroup.set_rate) -------------

@@ -183,6 +183,8 @@ def summary_to_dict(summary: SimulationSummary) -> Dict[str, Any]:
         out["perf"] = summary.perf
     if summary.control_plane is not None:
         out["control_plane"] = summary.control_plane
+    if summary.topo is not None:
+        out["topo"] = summary.topo
     return out
 
 

@@ -30,6 +30,7 @@ from repro.core.dynamic_topology import (
     TopologyMode,
 )
 from repro.experiments.report import format_table, pct, us
+from repro.obs.decisions import DecisionLog
 from repro.experiments.scale import ExperimentScale, current_scale
 from repro.power.channel_models import IdealChannelPower
 from repro.power.switch_profile import INFINIBAND_SWITCH_PROFILE
@@ -64,6 +65,10 @@ class DynamicTopologyPoint:
     mean_message_latency_ns: float
     delivered_fraction: float
     escapes: int
+    #: Audit-log reason counts for the run's mode transitions
+    #: (``topology_off`` / ``topology_on``) — the degrade decisions
+    #: used to be invisible to the decision audit entirely.
+    decision_counts: Dict[str, int] = None
 
     def dominant_mode(self) -> TopologyMode:
         """The mode this run spent the most time in."""
@@ -134,7 +139,9 @@ def _run_point(label: str, scale: ExperimentScale, offered_load: float,
     network = FbflyNetwork(
         topology, NetworkConfig(seed=seed, escape_timeout_ns=50_000.0),
         routing_factory=RestrictedAdaptiveRouting)
-    controller = DynamicTopologyController(network, config)
+    decision_log = DecisionLog(max_records=0)
+    controller = DynamicTopologyController(network, config,
+                                           decision_log=decision_log)
     workload = UniformRandomWorkload(
         topology.num_hosts, offered_load=offered_load, seed=seed,
         line_rate_gbps=network.config.ladder.max_rate)
@@ -155,6 +162,7 @@ def _run_point(label: str, scale: ExperimentScale, offered_load: float,
         mean_message_latency_ns=stats.mean_message_latency_ns(),
         delivered_fraction=stats.delivered_fraction(),
         escapes=stats.escapes,
+        decision_counts=dict(decision_log.reason_counts),
     )
 
 

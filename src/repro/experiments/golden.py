@@ -23,6 +23,7 @@ from typing import Any, Callable, Dict, List
 
 from repro.experiments import (
     chaos,
+    demand_topology,
     fault_tolerance,
     figure1,
     figure7,
@@ -147,6 +148,30 @@ def chaos_payload() -> Dict[str, Any]:
     }
 
 
+def demand_topology_payload() -> Dict[str, Any]:
+    """The demand-aware topology campaign's digests and verdict.
+
+    Freezes the whole topology-control stack at the campaign's pinned
+    fabric and seeds: per-arm summary digests (which include the
+    controllers' topology counters and the connectivity guard's
+    veto/violation accounting), the per-arm energy/latency/safety
+    verdicts, and the acceptance booleans — the demand-aware arm
+    strictly beating static FBFLY on energy at bounded latency cost on
+    every gated matrix, with zero partitions and zero guard violations
+    across all nine arms.  Live no-cache runs, same as the Figure 7
+    golden.
+    """
+    with using_runner(SweepRunner(jobs=1, use_cache=False)):
+        result = demand_topology.run()
+    return {
+        "runs": {label: summary_digest(summary)
+                 for label, summary in result.by_label.items()},
+        "verdict": result.verdict_dict(),
+        "demand_wins": result.demand_wins,
+        "safe_everywhere": result.safe_everywhere,
+    }
+
+
 #: name -> payload builder; the golden file set.
 GOLDEN_BUILDERS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "table1": table1_payload,
@@ -155,6 +180,7 @@ GOLDEN_BUILDERS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "predictive": predictive_payload,
     "faults": faults_payload,
     "chaos": chaos_payload,
+    "demand_topology": demand_topology_payload,
 }
 
 

@@ -50,6 +50,11 @@ CONTROL_ALWAYS_SLOWEST = "always_slowest"  # pinned to the minimum rate
 CONTROL_PREDICT = "predict"        # forecast-driven epoch controller
 CONTROL_ORACLE = "oracle"          # clairvoyant two-pass power floor
 
+#: Control modes registered by :mod:`repro.topo` (imported lazily).
+#: Named here as plain strings so the runner can wire dark-link
+#: routing and partition detection for them without paying the import.
+TOPO_CONTROL_MODES = ("demand_topo", "degraded_topo")
+
 _POLICIES = {
     "threshold": ThresholdPolicy,
     "hysteresis": lambda target: HysteresisPolicy(
@@ -126,6 +131,22 @@ class SimulationSpec:
         if self.workload == "bursty":
             return bursty_workload(num_hosts, seed=self.seed,
                                    line_rate_gbps=line_rate_gbps)
+        if self.workload in ("skewed", "shifting", "diurnal"):
+            from repro.workloads.matrix import (
+                DiurnalWorkload,
+                ShiftingMatrixWorkload,
+                SkewedMatrixWorkload,
+            )
+            if self.workload == "diurnal":
+                return DiurnalWorkload(
+                    num_hosts, offered_load=self.uniform_offered_load,
+                    line_rate_gbps=line_rate_gbps, seed=self.seed)
+            cls = (ShiftingMatrixWorkload if self.workload == "shifting"
+                   else SkewedMatrixWorkload)
+            return cls(num_hosts,
+                       hosts_per_switch=(self.concentration or self.k),
+                       offered_load=self.uniform_offered_load,
+                       line_rate_gbps=line_rate_gbps, seed=self.seed)
         raise ValueError(f"unknown workload {self.workload!r}")
 
     def build_policy(self) -> RatePolicy:
@@ -187,6 +208,12 @@ class SimulationSummary:
     #: ``"failsafe"``) — ``None`` for runs with a perfect control
     #: plane and no guard, and elided from cache encodings.
     control_plane: Optional[Dict] = None
+    #: Topology-control digest (groups dark per epoch, dark-group
+    #: nanoseconds, reactivation waits, guard vetoes/violations — see
+    #: :meth:`repro.topo.controller.DemandAwareTopologyController.
+    #: topo_summary`) — ``None`` for every run whose controller has no
+    #: topology axis, and elided from cache encodings.
+    topo: Optional[Dict] = None
 
 
 def _build_epoch_controller(network, spec, decision_log):
@@ -230,12 +257,14 @@ def run_simulation(spec: SimulationSpec,
         net_config = NetworkConfig(
             seed=spec.seed, initial_rate_gbps=net_config.ladder.min_rate)
     routing_factory = None
-    if spec.faults is not None or spec.control_faults is not None:
+    if (spec.faults is not None or spec.control_faults is not None
+            or spec.control in TOPO_CONTROL_MODES):
         # Fault runs must route around dark links; plain minimal
         # adaptive routing cannot.  Control-plane chaos can dark links
         # too (a naive controller gates "idle"-looking groups off), so
         # it gets the same treatment — and the same partition
-        # detection below.
+        # detection below.  Topology control darkens links by design,
+        # so it needs both even on a healthy fabric.
         from repro.routing.restricted import RestrictedAdaptiveRouting
         routing_factory = RestrictedAdaptiveRouting
     network = FbflyNetwork(topology, net_config,
@@ -253,15 +282,21 @@ def run_simulation(spec: SimulationSpec,
             import repro.predict  # noqa: F401
             if not control_mode_registered(spec.control):
                 import repro.faults  # noqa: F401
+            if not control_mode_registered(spec.control):
+                import repro.topo  # noqa: F401
         controller = build_controller(spec.control, network=network,
                                       spec=spec, decision_log=decision_log)
 
     injector = None
-    if spec.faults is not None or spec.control_faults is not None:
+    if (spec.faults is not None or spec.control_faults is not None
+            or spec.control in TOPO_CONTROL_MODES):
         from repro.sim.faults import LinkFaultInjector
         # For control-fault-only runs the injector schedules nothing;
         # it is attached for its drop accounting and BFS partition
         # detection (the chaos campaign's zero-partition SLO).
+        # Topology-control runs get it for the same reason: the
+        # campaign verdict gates on zero partitions while links are
+        # deliberately dark.
         injector = LinkFaultInjector(network, decision_log=decision_log)
         if spec.faults is not None:
             from repro.faults import apply_scenario, build_scenario
@@ -343,6 +378,8 @@ def run_simulation(spec: SimulationSpec,
               if telemetry is not None and telemetry.profiler is not None
               else None),
         control_plane=control_plane_info,
+        topo=(controller.topo_summary()
+              if hasattr(controller, "topo_summary") else None),
     )
 
 

@@ -86,6 +86,21 @@ the guard's own ``reconfigurations``, summed into the run total):
 - ``failsafe_recovered`` — crash recovery: the guard reconstructed
   lost controller intent from its decision journal after a restart.
 
+The topology control plane (:mod:`repro.topo` and the Section 5.1
+ladder in :mod:`repro.core.dynamic_topology`) adds four codes, emitted
+with ``changed=False`` like the gating events (topology actuations act
+on whole link groups through drain/power-off, not through the rate
+ladder, so they never perturb the transition audit):
+
+- ``topology_off`` / ``topology_on`` — the topology controller powered
+  a link group fully off on low (forecast) demand / reactivated it as
+  demand returned, paying the reactivation stall.
+- ``topology_held`` — hysteresis: a wanted state change was suppressed
+  because the group is still inside its minimum dwell window.
+- ``topology_guard_veto`` — the connectivity guard refused a power-off
+  because the spanning set would not survive it *given the links
+  already dark from faults* (the powered-off/faulted intersection).
+
 The taxonomy is **closed**: :meth:`DecisionLog.record` raises
 ``ValueError`` on a reason outside :data:`REASONS` rather than silently
 counting a typo as a new category (aggregate counters keyed by
@@ -128,6 +143,10 @@ FAILSAFE_HOLD = "failsafe_hold"
 FAILSAFE_DEADMAN = "failsafe_deadman"
 FAILSAFE_RETRY = "failsafe_retry"
 FAILSAFE_RECOVERED = "failsafe_recovered"
+TOPOLOGY_OFF = "topology_off"
+TOPOLOGY_ON = "topology_on"
+TOPOLOGY_HELD = "topology_held"
+TOPOLOGY_GUARD_VETO = "topology_guard_veto"
 
 #: The control-plane chaos subset (what the fault injector did).
 CONTROL_FAULT_REASONS = (CONTROL_FAULT_TELEMETRY_LOST,
@@ -141,6 +160,11 @@ CONTROL_FAULT_REASONS = (CONTROL_FAULT_TELEMETRY_LOST,
 FAILSAFE_REASONS = (FAILSAFE_HOLD, FAILSAFE_DEADMAN,
                     FAILSAFE_RETRY, FAILSAFE_RECOVERED)
 
+#: The topology-control subset (demand-aware power-off decisions,
+#: rendered on the trace's topology track).
+TOPOLOGY_REASONS = (TOPOLOGY_OFF, TOPOLOGY_ON, TOPOLOGY_HELD,
+                    TOPOLOGY_GUARD_VETO)
+
 #: Every legal reason code (closed set; ``DecisionLog.record`` rejects
 #: anything else).
 REASONS = (ABOVE_THRESHOLD, BELOW_THRESHOLD, REACTIVATION_PENDING,
@@ -148,7 +172,7 @@ REASONS = (ABOVE_THRESHOLD, BELOW_THRESHOLD, REACTIVATION_PENDING,
            FORECAST_RAMP_UP, FORECAST_HOLD, FORECAST_MISS,
            FAULT_DOWN, FAULT_REPAIR, PARTITION,
            GATED_OFF, GATED_WAKE, PINNED_HOLD) \
-    + CONTROL_FAULT_REASONS + FAILSAFE_REASONS
+    + CONTROL_FAULT_REASONS + FAILSAFE_REASONS + TOPOLOGY_REASONS
 
 #: The fault-campaign subset (rendered on the trace's fault track).
 FAULT_REASONS = (FAULT_DOWN, FAULT_REPAIR, PARTITION,

@@ -13,6 +13,10 @@ https://ui.perfetto.dev and ``chrome://tracing`` open directly:
   pinned-hold decisions — any :data:`repro.obs.decisions.FAULT_REASONS`
   record) appear as instants on a dedicated ``faults`` track placed
   after the channel tracks;
+- **topology events** (power-off/on, dwell holds and guard vetoes —
+  any :data:`repro.obs.decisions.TOPOLOGY_REASONS` record) appear as
+  instants on a dedicated ``topology`` track, with a ``dark_groups``
+  counter chart tracking how much of the fabric is dark over time;
 - **power samples** (when a power monitor ran) appear as counter
   (``"C"``) events, rendered by the viewers as a stacked area chart;
 - **wall-clock samples** (when a
@@ -123,7 +127,8 @@ def build_trace(network, decision_log,
                 "args": {"rate_gbps": rate},
             })
 
-    from repro.obs.decisions import FAULT_REASONS
+    from repro.obs.decisions import FAULT_REASONS, TOPOLOGY_REASONS
+    from repro.obs.decisions import TOPOLOGY_OFF, TOPOLOGY_ON
     fault_records = [d for d in decision_log.records
                      if d.reason in FAULT_REASONS]
     if fault_records:
@@ -137,6 +142,36 @@ def build_trace(network, decision_log,
                 "ph": "i", "pid": 1, "tid": faults_tid, "s": "t",
                 "name": f"{decision.reason}:{decision.group}",
                 "ts": _ns_to_us(decision.time_ns),
+            })
+
+    topology_records = [d for d in decision_log.records
+                        if d.reason in TOPOLOGY_REASONS]
+    if topology_records:
+        # Placed after the faults track when one exists, else directly
+        # after the channel tracks.
+        topo_tid = (len(network.tunable_channels()) + 1
+                    + (1 if fault_records else 0))
+        events.append({
+            "ph": "M", "pid": 1, "tid": topo_tid,
+            "name": "thread_name", "args": {"name": "topology"},
+        })
+        dark = 0
+        for decision in topology_records:
+            events.append({
+                "ph": "i", "pid": 1, "tid": topo_tid, "s": "t",
+                "name": f"{decision.reason}:{decision.group}",
+                "ts": _ns_to_us(decision.time_ns),
+            })
+            if decision.reason == TOPOLOGY_OFF:
+                dark += 1
+            elif decision.reason == TOPOLOGY_ON:
+                dark = max(0, dark - 1)
+            else:
+                continue
+            events.append({
+                "ph": "C", "pid": 1, "name": "dark_groups",
+                "ts": _ns_to_us(decision.time_ns),
+                "args": {"dark_groups": dark},
             })
 
     for time_ns, fraction in (power_samples or []):
@@ -175,6 +210,7 @@ def build_trace(network, decision_log,
             "epochs": len(decision_log.epochs),
             "transitions": decision_log.transitions_recorded,
             "fault_events": len(fault_records),
+            "topology_events": len(topology_records),
             "wall_samples": wall_samples,
         },
     }

@@ -1,0 +1,112 @@
+"""repro.topo — demand-aware dynamic topology control.
+
+The paper's Section 5.1 names "dynamic topologies" as the natural
+extension of link-rate scaling: if routing already tolerates links that
+look faulty, whole links can be powered off when the traffic matrix
+does not need them.  This package makes that a third control axis,
+co-scheduled with per-channel rates and fault pinning:
+
+- :mod:`repro.topo.demand` — the per-epoch
+  :class:`~repro.topo.demand.DemandMatrixEstimator`, aggregating the
+  channel telemetry the rate ladder already collects into a
+  src-switch x dst-switch demand matrix (EWMA-smoothed, optionally
+  forecast through the :mod:`repro.predict` registry).
+- :mod:`repro.topo.controller` — the
+  :class:`~repro.topo.controller.DemandAwareTopologyController` and
+  its :class:`~repro.topo.controller.ConnectivityGuard`, which
+  generalizes the fault campaign's spanning-set pinning with a
+  whole-fabric BFS check over the intersection of topology-dark links
+  and live faults.
+
+Importing this package registers the ``"demand_topo"`` (dynamic) and
+``"degraded_topo"`` (static express-links-off torus degradation, the
+campaign's middle arm) control modes with :mod:`repro.core.registry`;
+the runner imports it lazily the first time it meets an unregistered
+control mode, mirroring :mod:`repro.predict` and :mod:`repro.faults`.
+"""
+
+from __future__ import annotations
+
+from repro.core.controller import ControllerConfig
+from repro.core.registry import (
+    control_mode_registered,
+    register_control_mode,
+)
+from repro.topo.controller import (
+    ConnectivityGuard,
+    DemandAwareTopologyController,
+    TopologyControlConfig,
+)
+from repro.topo.demand import DemandMatrixEstimator
+from repro.topology.mesh_torus import LinkClass
+
+CONTROL_DEMAND_TOPO = "demand_topo"
+CONTROL_DEGRADED_TOPO = "degraded_topo"
+
+#: Every control mode this package registers — the runner (routing
+#: and partition-detection wiring) and CLI both key off this tuple.
+TOPO_CONTROL_MODES = (CONTROL_DEMAND_TOPO, CONTROL_DEGRADED_TOPO)
+
+
+def _controller_config(spec) -> ControllerConfig:
+    return ControllerConfig(
+        epoch_ns=spec.epoch_ns,
+        reactivation_ns=spec.reactivation_ns,
+        independent_channels=spec.independent_channels,
+    )
+
+
+def _build_demand_topo(network, spec, decision_log):
+    """Control-mode builder for ``control="demand_topo"`` specs.
+
+    ``spec.forecaster`` is reused verbatim: the same registry name
+    that drives predictive rate control selects the demand-matrix
+    forecaster here, so ``--control demand_topo --forecaster ewma``
+    runs topology decisions on forecast demand.
+    """
+    return DemandAwareTopologyController(
+        network,
+        policy=spec.build_policy(),
+        config=_controller_config(spec),
+        decision_log=decision_log,
+        topo=TopologyControlConfig(forecaster=spec.forecaster),
+        name=CONTROL_DEMAND_TOPO,
+    )
+
+
+def _build_degraded_topo(network, spec, decision_log):
+    """Control-mode builder for ``control="degraded_topo"`` specs.
+
+    The static comparison arm: express links are powered off at t=0
+    (the Section 5.1 FBFLY -> torus degradation) and the topology then
+    *freezes* — rate control keeps running, but no demand-driven
+    power decisions are made.  The guard still recovers pinned links
+    if faults later make a dark link the last spanning candidate.
+    """
+    return DemandAwareTopologyController(
+        network,
+        policy=spec.build_policy(),
+        config=_controller_config(spec),
+        decision_log=decision_log,
+        topo=TopologyControlConfig(
+            start_dark=(LinkClass.EXPRESS.value,),
+            freeze=True,
+        ),
+        name=CONTROL_DEGRADED_TOPO,
+    )
+
+
+if not control_mode_registered(CONTROL_DEMAND_TOPO):
+    register_control_mode(CONTROL_DEMAND_TOPO, _build_demand_topo)
+if not control_mode_registered(CONTROL_DEGRADED_TOPO):
+    register_control_mode(CONTROL_DEGRADED_TOPO, _build_degraded_topo)
+
+__all__ = [
+    "CONTROL_DEMAND_TOPO",
+    "CONTROL_DEGRADED_TOPO",
+    "TOPO_CONTROL_MODES",
+    "ConnectivityGuard",
+    "DemandAwareTopologyController",
+    "DemandMatrixEstimator",
+    "TopologyControlConfig",
+]

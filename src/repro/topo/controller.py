@@ -1,0 +1,478 @@
+"""Demand-aware topology control: powering link groups fully off.
+
+The rate ladder (Section 3.3) and the fault campaign both leave the
+topology itself fixed; :class:`DemandAwareTopologyController` makes it
+the third control axis, co-scheduled with per-channel rates in the same
+epoch loop.  Each epoch it
+
+1. aggregates delivered bytes per inter-switch channel into the
+   :class:`~repro.topo.demand.DemandMatrixEstimator` (EWMA-smoothed,
+   optionally forecast through the :mod:`repro.predict` registry);
+2. powers **off** — not just rates down — link groups whose pair
+   demand sits below ``off_fraction`` of link capacity, subject to the
+   :class:`ConnectivityGuard`; and
+3. powers dark groups back **on** when the *endpoint pressure* (total
+   forecast demand touching either endpoint switch, relative to its
+   still-powered capacity) exceeds ``on_fraction`` — a dark link's own
+   direct demand reads zero forever, so its endpoints' detour load is
+   the only honest reactivation signal.
+
+The guard generalizes :class:`repro.faults.policy.SpanningSetGuard`:
+the pinned spanning set is recomputed over links that are not
+*fault*-dark, and every power-off is additionally checked against the
+**intersection** of topology-dark links and live faults — a BFS over
+the links that would remain usable must still reach every switch, so
+deliberate power-off can never cooperate with a fault to partition the
+fabric.  Refusals are recorded as ``topology_guard_veto``; hysteresis
+(``min_dwell_epochs``) suppressions as ``topology_held``; transitions
+as ``topology_off`` / ``topology_on`` — all ``changed=False`` records,
+so the rate-transition audit is untouched.
+
+Crash interop: like gating, topology state is volatile — a cold
+restart forgets which groups *this controller* darkened, which is the
+stranded-dark-group hazard :class:`repro.core.failsafe.FailsafeGuard`
+journals ``topology_off``/``topology_on`` records to recover from (it
+wakes the stranded group and calls :meth:`release_gate`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.controller import ControllerConfig, EpochController
+from repro.faults.policy import SpanningSetGuard
+from repro.obs.decisions import (
+    Decision,
+    TOPOLOGY_GUARD_VETO,
+    TOPOLOGY_HELD,
+    TOPOLOGY_OFF,
+    TOPOLOGY_ON,
+)
+from repro.topo.demand import DemandMatrixEstimator
+
+Link = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class TopologyControlConfig:
+    """Demand-aware topology policy parameters.
+
+    Attributes:
+        off_fraction: A lit link whose worst-direction pair demand sits
+            below this fraction of link capacity is a power-off
+            candidate.
+        on_fraction: A dark link wakes when either endpoint's forecast
+            pressure exceeds this fraction of the endpoint's
+            still-powered inter-switch capacity.
+        min_dwell_epochs: Epochs a group must hold its current
+            topology state before it may flip again (hysteresis).
+        ewma_alpha: Demand-matrix smoothing weight.
+        forecaster: Optional :mod:`repro.predict` forecaster name to
+            run topology decisions on forecast demand; ``None`` uses
+            the EWMA matrix directly.
+        max_dark_fraction: Never darken more than this fraction of the
+            gateable (inter-switch) groups, guard permitting or not.
+        start_dark: Link classes (:class:`repro.topology.mesh_torus.
+            LinkClass` values) powered off at construction — the
+            static-degradation arms.
+        freeze: Skip per-epoch topology decisions entirely; with
+            ``start_dark`` this is a *static* degraded topology under
+            ordinary rate control.
+    """
+
+    off_fraction: float = 0.05
+    on_fraction: float = 0.45
+    min_dwell_epochs: int = 4
+    ewma_alpha: float = 0.5
+    forecaster: Optional[str] = None
+    max_dark_fraction: float = 0.5
+    start_dark: Tuple[str, ...] = ()
+    freeze: bool = False
+
+
+class ConnectivityGuard:
+    """Connectivity oracle for deliberate power-off decisions.
+
+    Wraps a :class:`~repro.faults.policy.SpanningSetGuard` (same pinned
+    spanning set, same ``ring``/``tree`` modes) and adds the
+    whole-fabric check the intersection case needs: a power-off is
+    vetoed unless the links that would remain *usable* — lit, not
+    fault-dark, not already topology-dark — still connect every
+    switch.  The spanning set alone is not enough once faults land on
+    it: the faulted pinned link is unavailable, and the guard must then
+    refuse to remove whatever unpinned link is carrying its detours.
+    """
+
+    def __init__(self, network, mode: str = "ring"):
+        self.spanning = SpanningSetGuard(network, mode=mode)
+        self.num_switches = network.topology.num_switches
+        #: Post-decision connectivity self-checks that failed.  Stays
+        #: zero unless the guard itself is broken; campaign verdicts
+        #: gate on it.
+        self.violations = 0
+        self.vetoes = 0
+
+    @property
+    def pinned(self) -> FrozenSet[Link]:
+        """The wrapped guard's currently pinned spanning set."""
+        return self.spanning.pinned
+
+    def refresh(self, available: List[Link]) -> FrozenSet[Link]:
+        """Re-pin the spanning set over currently available links."""
+        return self.spanning.refresh(available)
+
+    def connected(self, usable: Set[Link]) -> bool:
+        """Do ``usable`` links connect all switches (BFS)?"""
+        if self.num_switches <= 1:
+            return True
+        adjacency: Dict[int, List[int]] = {}
+        for a, b in usable:
+            adjacency.setdefault(a, []).append(b)
+            adjacency.setdefault(b, []).append(a)
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            node = frontier.pop()
+            for peer in adjacency.get(node, ()):
+                if peer not in seen:
+                    seen.add(peer)
+                    frontier.append(peer)
+        return len(seen) == self.num_switches
+
+    def may_power_off(self, link: Link, usable: Set[Link]) -> bool:
+        """May ``link`` go dark, given the currently usable links?
+
+        ``usable`` must already exclude fault-dark and topology-dark
+        links; the check is that the remainder *without* ``link``
+        stays pinned-safe and connected.
+        """
+        if link in self.spanning.pinned:
+            self.vetoes += 1
+            return False
+        if not self.connected(usable - {link}):
+            self.vetoes += 1
+            return False
+        return True
+
+
+class DemandAwareTopologyController(EpochController):
+    """Epoch controller co-scheduling link rates and topology.
+
+    Rate decisions are inherited unchanged from
+    :class:`~repro.core.controller.EpochController`; the topology pass
+    runs first each epoch, so rate control immediately sees (and skips)
+    the groups it darkened — the same ordering the fault-gating
+    controller uses.
+    """
+
+    def __init__(self, network, policy=None,
+                 config: ControllerConfig = ControllerConfig(),
+                 groups=None, sensor=None, decision_log=None,
+                 topo: TopologyControlConfig = TopologyControlConfig(),
+                 guard: Optional[ConnectivityGuard] = None,
+                 name: str = "demand_topo"):
+        super().__init__(network, policy=policy, config=config,
+                         groups=groups, sensor=sensor,
+                         decision_log=decision_log, name=name)
+        self.topo = topo
+        self.guard = (guard if guard is not None
+                      else ConnectivityGuard(network, mode="ring"))
+        #: group name -> undirected link endpoints (inter-switch groups
+        #: only; host-link groups are never topology candidates).
+        self._endpoints: Dict[str, Link] = {}
+        by_channel = {id(ch): key for key, ch
+                      in network.switch_channel_map().items()}
+        for group in self.groups:
+            key = by_channel.get(id(group.channels[0]))
+            if key is not None:
+                a, b = key
+                self._endpoints[group.name] = (min(a, b), max(a, b))
+        forecaster = None
+        if topo.forecaster is not None:
+            from repro.predict.forecasters import build_forecaster
+            forecaster = build_forecaster(topo.forecaster)
+        self.demand = DemandMatrixEstimator(
+            network.topology.num_switches, ewma_alpha=topo.ewma_alpha,
+            forecaster=forecaster)
+        self._dark: Set[str] = set()
+        self._dwell: Dict[str, int] = {}
+        self._last_bytes: Dict[str, int] = {}
+        # Accounting surfaced by topo_summary().
+        self.topology_offs = 0
+        self.topology_ons = 0
+        self.topology_holds = 0
+        self.guard_vetoes = 0
+        self.reactivation_waits = 0
+        self.reactivation_wait_ns = 0.0
+        self.dark_group_ns = 0.0
+        self._dark_per_epoch: List[int] = []
+        self._refresh_guard()
+        if topo.start_dark:
+            self._apply_start_dark()
+
+    # -- construction helpers ------------------------------------------
+
+    def _apply_start_dark(self) -> None:
+        """Statically darken the configured link classes (at t=0 every
+        channel is idle, so no drain phase is needed)."""
+        from repro.topology.mesh_torus import classify_links
+        classes = {link: cls.value for link, cls
+                   in classify_links(self.network.topology).items()}
+        for group in self._candidates():
+            link = self._endpoints[group.name]
+            if classes.get(link) not in self.topo.start_dark:
+                continue
+            if link in self.guard.pinned:
+                continue
+            if not self.guard.may_power_off(link, self._usable_links()):
+                continue
+            self._power_off(group)
+
+    # -- link bookkeeping ----------------------------------------------
+
+    def _candidates(self):
+        """Inter-switch groups, in stable group order."""
+        return [g for g in self.groups
+                if self._endpoints.get(g.name) is not None]
+
+    def _fault_dark(self, group) -> bool:
+        """Down for reasons outside our own topology decisions?"""
+        if group.name in self._dark:
+            return False
+        return any(ch.is_off or ch.draining for ch in group.channels)
+
+    def _usable_links(self) -> Set[Link]:
+        """Links routing can use right now: lit and not fault-dark."""
+        usable = set()
+        for group in self._candidates():
+            if group.name in self._dark or self._fault_dark(group):
+                continue
+            usable.add(self._endpoints[group.name])
+        return usable
+
+    def _refresh_guard(self) -> None:
+        available = [link for group in self._candidates()
+                     if not self._fault_dark(group)
+                     and (link := self._endpoints[group.name]) is not None]
+        self.guard.refresh(sorted(set(available)))
+
+    # -- crash semantics (mirrors the gating controller) ----------------
+
+    def _reset_volatile_state(self) -> None:
+        """Cold restart forgets which groups *we* darkened — the
+        stranded-dark-group hazard the failsafe guard recovers."""
+        super()._reset_volatile_state()
+        self._dark.clear()
+        self._dwell.clear()
+        self._last_bytes.clear()
+
+    def release_gate(self, name: str) -> None:
+        """Drop topology claims on a group an external actor woke
+        (the failsafe guard, after recovering a stranded dark group)."""
+        self._dark.discard(name)
+        self._dwell[name] = 0
+
+    # -- the epoch loop -------------------------------------------------
+
+    def _on_epoch(self) -> None:
+        if self._stopped:
+            return
+        self._topology_pass()
+        super()._on_epoch()
+
+    def _decide_group(self, group, reading, ladder, now, log) -> None:
+        if group.name in self._dark:
+            # Draining toward off; no rate decisions until it sleeps.
+            return
+        super()._decide_group(group, reading, ladder, now, log)
+
+    def _topology_pass(self) -> None:
+        epoch_ns = self.config.effective_epoch_ns
+        ladder = self.network.config.ladder
+        self._ingest_telemetry(epoch_ns)
+        self._finish_drains()
+        for group in self._candidates():
+            name = group.name
+            self._dwell[name] = self._dwell.get(name, 0) + 1
+        self._refresh_guard()
+        if not self.topo.freeze:
+            self._wake_pass(ladder)
+            self._off_pass(ladder)
+        # Pinned links the guard now needs must come back regardless
+        # of freeze: a static degraded topology still must not hold a
+        # link dark once faults make it the last spanning candidate.
+        for group in self._candidates():
+            if group.name in self._dark and (
+                    self._endpoints[group.name] in self.guard.pinned):
+                self._wake(group, ladder)
+        if not self.guard.connected(self._usable_links()):
+            # The intersection hazard: a fault landing *after* a legal
+            # power-off can cut the fabric (the guard only vetoes at
+            # decision time).  Wake dark groups until the usable links
+            # span every switch again — reactivation latency is paid,
+            # partition is not.  Only an unfixable disconnection (all
+            # remaining cuts are faults, not our power-offs) counts as
+            # a guard violation.
+            self._reconnect_pass(ladder)
+            if not self.guard.connected(self._usable_links()):
+                self.guard.violations += 1
+        dark_now = len(self._dark)
+        self._dark_per_epoch.append(dark_now)
+        self.dark_group_ns += dark_now * epoch_ns
+
+    def _reconnect_pass(self, ladder) -> None:
+        """Wake topology-dark groups (stable order) until the fabric
+        reconnects; a freshly woken channel is usable immediately (it
+        reactivates in the background), so this converges within the
+        epoch it runs in."""
+        for group in self._candidates():
+            if group.name not in self._dark:
+                continue
+            if self.guard.connected(self._usable_links()):
+                return
+            self._wake(group, ladder)
+
+    def _ingest_telemetry(self, epoch_ns: float) -> None:
+        """Delivered Gb/s per inter-switch channel, into the matrix."""
+        flows: Dict[Link, float] = {}
+        for (src, dst), channel in sorted(
+                self.network.switch_channel_map().items()):
+            sent = channel.stats.bytes_sent
+            delta = sent - self._last_bytes.get(channel.name, 0)
+            self._last_bytes[channel.name] = sent
+            if delta > 0:
+                flows[(src, dst)] = delta * 8.0 / epoch_ns
+        self.demand.observe(flows)
+
+    def _finish_drains(self) -> None:
+        for group in self._candidates():
+            if group.name not in self._dark:
+                continue
+            for ch in group.channels:
+                if not ch.is_off and ch.draining and ch.drained:
+                    ch.power_off()
+
+    def _wake_pass(self, ladder) -> None:
+        for group in self._candidates():
+            name = group.name
+            if name not in self._dark:
+                continue
+            if self._dwell.get(name, 0) < self.topo.min_dwell_epochs:
+                continue
+            a, b = self._endpoints[name]
+            if max(self._pressure(a, ladder),
+                   self._pressure(b, ladder)) > self.topo.on_fraction:
+                self._wake(group, ladder)
+
+    def _pressure(self, switch: int, ladder) -> float:
+        """Forecast demand touching ``switch`` over its lit capacity."""
+        lit = sum(1 for group in self._candidates()
+                  if switch in self._endpoints[group.name]
+                  and group.name not in self._dark
+                  and not self._fault_dark(group))
+        capacity = max(lit, 1) * ladder.max_rate
+        return self.demand.group_pressure(switch) / capacity
+
+    def _off_pass(self, ladder) -> None:
+        max_dark = int(self.topo.max_dark_fraction
+                       * len(self._candidates()))
+        for group in self._candidates():
+            name = group.name
+            if name in self._dark or self._fault_dark(group):
+                continue
+            a, b = self._endpoints[name]
+            demand = self.demand.pair_forecast(a, b)
+            if demand >= self.topo.off_fraction * ladder.max_rate:
+                continue
+            if len(self._dark) >= max_dark:
+                continue
+            if self._dwell.get(name, 0) < self.topo.min_dwell_epochs:
+                self.topology_holds += 1
+                self._log_topology(group, TOPOLOGY_HELD,
+                                   old_rate=group.current_rate,
+                                   new_rate=group.current_rate,
+                                   forecast=demand)
+                continue
+            if not self.guard.may_power_off((a, b), self._usable_links()):
+                self.guard_vetoes += 1
+                self._log_topology(group, TOPOLOGY_GUARD_VETO,
+                                   old_rate=group.current_rate,
+                                   new_rate=group.current_rate,
+                                   forecast=demand)
+                # Vetoed power-offs restart the dwell clock: retrying
+                # every epoch against the same guard state is the
+                # livelock-adjacent loop the hysteresis exists to damp.
+                self._dwell[name] = 0
+                continue
+            self._power_off(group, forecast=demand)
+
+    # -- actuation ------------------------------------------------------
+
+    def _power_off(self, group, forecast: float = 0.0) -> None:
+        old_rate = group.current_rate
+        for ch in group.channels:
+            if not ch.is_off:
+                ch.draining = True
+                if ch.drained:
+                    ch.power_off()
+        self._dark.add(group.name)
+        self._dwell[group.name] = 0
+        self.topology_offs += 1
+        self._log_topology(group, TOPOLOGY_OFF, old_rate=old_rate,
+                           new_rate=None, forecast=forecast)
+
+    def _wake(self, group, ladder) -> None:
+        for ch in group.channels:
+            if ch.is_off:
+                ch.power_on(self.config.reactivation_ns,
+                            rate_gbps=ladder.min_rate)
+            else:
+                ch.draining = False
+        self._dark.discard(group.name)
+        self._dwell[group.name] = 0
+        self.topology_ons += 1
+        self.reactivation_waits += 1
+        self.reactivation_wait_ns += self.config.reactivation_ns
+        self._log_topology(group, TOPOLOGY_ON, old_rate=None,
+                           new_rate=ladder.min_rate)
+
+    def _log_topology(self, group, reason: str,
+                      old_rate: Optional[float],
+                      new_rate: Optional[float],
+                      forecast: Optional[float] = None) -> None:
+        if self.decision_log is None:
+            return
+        self.decision_log.record(Decision(
+            time_ns=self.network.sim.now, controller=self.name,
+            group=group.name,
+            channels=tuple(ch.name for ch in group.channels),
+            old_rate=old_rate, new_rate=new_rate, reason=reason,
+            changed=False,
+            reactivation_ns=(self.config.reactivation_ns
+                             if reason == TOPOLOGY_ON else 0.0),
+            forecast_gbps=forecast))
+
+    # -- reporting ------------------------------------------------------
+
+    def topo_summary(self) -> Dict[str, object]:
+        """JSON-safe topology digest for ``SimulationSummary.topo``."""
+        per_epoch = self._dark_per_epoch
+        return {
+            "controller": self.name,
+            "epochs": len(per_epoch),
+            "dark_mean": (sum(per_epoch) / len(per_epoch)
+                          if per_epoch else 0.0),
+            "dark_max": max(per_epoch, default=0),
+            "dark_final": len(self._dark),
+            "dark_group_ns": self.dark_group_ns,
+            "topology_offs": self.topology_offs,
+            "topology_ons": self.topology_ons,
+            "topology_holds": self.topology_holds,
+            "guard_vetoes": self.guard_vetoes,
+            "guard_violations": self.guard.violations,
+            "reactivation_waits": self.reactivation_waits,
+            "reactivation_wait_ns": self.reactivation_wait_ns,
+            "pinned_links": len(self.guard.pinned),
+            "candidates": len(self._candidates()),
+        }

@@ -212,6 +212,34 @@ class TestChaosCli:
         assert args.experiment == "chaos-campaign"
 
 
+class TestTopoCli:
+    def test_parser_defaults_are_the_campaign_constants(self):
+        from repro.cli import build_topo_parser
+        from repro.experiments import demand_topology
+
+        args = build_topo_parser().parse_args([])
+        assert args.compare is False
+        assert args.json_out is None
+        assert args.seed == demand_topology.CAMPAIGN_SEED
+        assert args.retries is None
+
+    def test_parser_accepts_the_gate_flags(self, tmp_path):
+        from repro.cli import build_topo_parser
+
+        args = build_topo_parser().parse_args(
+            ["--compare", "--json-out", str(tmp_path / "v.json"),
+             "--jobs", "2", "--no-cache"])
+        assert args.compare is True
+        assert args.json_out == tmp_path / "v.json"
+        assert args.jobs == 2
+        assert args.no_cache is True
+
+    def test_demand_topology_is_a_registered_experiment(self):
+        assert "demand-topology" in EXPERIMENTS
+        args = build_parser().parse_args(["demand-topology"])
+        assert args.experiment == "demand-topology"
+
+
 class TestPerfCompareErrors:
     def test_missing_baseline_is_actionable_not_a_traceback(
             self, tmp_path, capsys):
@@ -253,6 +281,18 @@ class TestObsCli:
         out = capsys.readouterr().out
         assert "2 record" in out
         assert "every reconfiguration accounted for" in out
+
+    def test_obs_summarize_rolls_up_decision_reasons(self, tmp_path,
+                                                     capsys):
+        log = self._write_log(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "summarize", str(log)]) == 0
+        out = capsys.readouterr().out
+        # The per-reason rollup: every decision reason the runs logged,
+        # with counts and a share of the total.
+        assert "decision reasons (" in out
+        assert "total):" in out
+        assert "%" in out
 
     def test_obs_summarize_missing_log_fails(self, tmp_path, capsys):
         with pytest.raises(SystemExit):

@@ -1,0 +1,193 @@
+"""The demand-topology campaign's verdict machinery (no simulation).
+
+The campaign itself is pinned by ``tests/golden/demand_topology.json``;
+here the pure logic is exercised with synthetic summaries: spec
+construction, the per-arm energy/latency/safety verdicts and their
+gating semantics, the two acceptance legs (demand wins the gated
+matrices / every arm is safe) and the JSON verdict artifact CI uploads.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from repro.experiments.demand_topology import (
+    ARMS,
+    CAMPAIGN_FORECASTER,
+    CAMPAIGN_LOAD,
+    CAMPAIGN_SEED,
+    GATED_WORKLOADS,
+    VERDICT_MAX_LATENCY_FACTOR,
+    WORKLOADS,
+    DemandTopologyResult,
+    arm_label,
+    build_specs,
+)
+
+
+def fake_summary(latency=100.0, power=0.6, delivered=1.0, partitions=0,
+                 topo=None):
+    """The minimal summary surface the verdict machinery touches."""
+    return SimpleNamespace(
+        mean_message_latency_ns=latency,
+        measured_power_fraction=power,
+        delivered_fraction=delivered,
+        faults={"partitions": partitions},
+        topo=topo,
+    )
+
+
+def topo_digest(dark_mean=6.0, guard_violations=0):
+    return {"dark_mean": dark_mean, "guard_violations": guard_violations}
+
+
+def fake_result(demand_power=0.55, demand_latency=110.0,
+                demand_partitions=0, demand_guard_violations=0):
+    by_label = {}
+    for workload in WORKLOADS:
+        by_label[arm_label(workload, "static")] = fake_summary()
+        by_label[arm_label(workload, "degraded")] = fake_summary(
+            latency=180.0, power=0.5, topo=topo_digest(dark_mean=16.0))
+        by_label[arm_label(workload, "demand")] = fake_summary(
+            latency=demand_latency, power=demand_power,
+            partitions=demand_partitions,
+            topo=topo_digest(
+                guard_violations=demand_guard_violations))
+    return DemandTopologyResult(by_label=by_label)
+
+
+class TestBuildSpecs:
+    def test_nine_specs_one_per_matrix_and_arm(self):
+        specs = build_specs()
+        assert len(specs) == 9
+        assert set(specs) == {arm_label(w, a)
+                              for w in WORKLOADS for a, _ in ARMS}
+
+    def test_arms_differ_only_in_control_and_forecaster(self):
+        specs = build_specs()
+        for workload in WORKLOADS:
+            static = specs[arm_label(workload, "static")]
+            assert static.control == "epoch"
+            assert static.forecaster is None
+            for arm, control in ARMS:
+                spec = specs[arm_label(workload, arm)]
+                assert spec.control == control
+                assert spec.workload == workload
+                assert (spec.k, spec.n, spec.seed) == \
+                    (static.k, static.n, static.seed)
+                assert spec.uniform_offered_load == CAMPAIGN_LOAD
+
+    def test_only_the_demand_arm_carries_the_forecaster(self):
+        specs = build_specs()
+        for workload in WORKLOADS:
+            assert (specs[arm_label(workload, "demand")].forecaster
+                    == CAMPAIGN_FORECASTER)
+            assert specs[arm_label(workload, "degraded")].forecaster \
+                is None
+
+    def test_seed_is_parameterizable(self):
+        specs = build_specs(seed=CAMPAIGN_SEED + 7)
+        assert all(s.seed == CAMPAIGN_SEED + 7 for s in specs.values())
+
+
+class TestArmVerdict:
+    def test_winning_demand_arm_passes_every_leg(self):
+        result = fake_result()
+        for workload in GATED_WORKLOADS:
+            verdict = result.verdict(workload, "demand")
+            assert verdict.gated
+            assert verdict.energy_ok and verdict.latency_ok
+            assert verdict.safety_ok and verdict.all_ok
+            assert verdict.violations() == []
+
+    def test_energy_leg_is_strict(self):
+        # Matching static power is not saving energy.
+        verdict = fake_result(demand_power=0.6).verdict(
+            GATED_WORKLOADS[0], "demand")
+        assert not verdict.energy_ok
+        assert "energy" in verdict.violations()
+        assert not verdict.all_ok
+
+    def test_latency_bound_is_inclusive(self):
+        at_bound = fake_result(
+            demand_latency=100.0 * VERDICT_MAX_LATENCY_FACTOR)
+        assert at_bound.verdict(GATED_WORKLOADS[0], "demand").latency_ok
+        over = fake_result(
+            demand_latency=100.0 * VERDICT_MAX_LATENCY_FACTOR + 1.0)
+        assert not over.verdict(GATED_WORKLOADS[0], "demand").latency_ok
+
+    def test_ungated_arms_gate_on_safety_only(self):
+        result = fake_result()
+        degraded = result.verdict("skewed", "degraded")
+        assert not degraded.gated
+        # 1.8x latency and higher power than static: fails both gated
+        # legs, but an ungated arm only answers for safety.
+        assert degraded.latency_factor > VERDICT_MAX_LATENCY_FACTOR
+        assert degraded.all_ok
+        shifting = result.verdict("shifting", "demand")
+        assert not shifting.gated
+
+    def test_partition_or_guard_violation_fails_any_arm(self):
+        partitioned = fake_result(demand_partitions=1)
+        verdict = partitioned.verdict("shifting", "demand")
+        assert not verdict.safety_ok
+        assert verdict.violations() == ["safety"]
+        violated = fake_result(demand_guard_violations=2)
+        assert not violated.verdict("skewed", "demand").all_ok
+
+
+class TestResultVerdict:
+    def test_clean_campaign_is_ok(self):
+        result = fake_result()
+        assert result.demand_wins
+        assert result.safe_everywhere
+        assert result.ok
+
+    def test_demand_loss_on_a_gated_matrix_fails(self):
+        result = fake_result(demand_power=0.65)
+        assert not result.demand_wins
+        assert result.safe_everywhere
+        assert not result.ok
+
+    def test_any_unsafe_arm_fails_the_campaign(self):
+        result = fake_result(demand_partitions=1)
+        assert not result.safe_everywhere
+        assert not result.ok
+
+    def test_verdict_lines_name_failures(self):
+        lines = "\n".join(fake_result(demand_power=0.65).verdict_lines())
+        assert "VERDICT FAILED" in lines
+        ok_lines = "\n".join(fake_result().verdict_lines())
+        assert "beats static on every gated matrix" in ok_lines
+        assert "zero partitions" in ok_lines
+
+
+class TestVerdictArtifact:
+    def test_verdict_dict_shape(self):
+        payload = fake_result().verdict_dict()
+        assert set(payload) == {"verdict", "static", "arms",
+                                "demand_wins", "safe_everywhere", "ok"}
+        assert payload["verdict"]["gated_workloads"] == \
+            list(GATED_WORKLOADS)
+        assert set(payload["static"]) == set(WORKLOADS)
+        assert len(payload["arms"]) == 9
+        for arm in payload["arms"]:
+            assert set(arm) == {
+                "label", "power_fraction", "power_delta",
+                "latency_factor", "delivered_fraction", "partitions",
+                "guard_violations", "dark_mean", "gated", "ok",
+                "violations"}
+
+    def test_verdict_dict_is_json_serializable(self):
+        import json
+
+        text = json.dumps(fake_result().verdict_dict(), sort_keys=True)
+        assert "demand_wins" in text
+
+    def test_table_has_one_row_per_run(self):
+        result = fake_result()
+        assert len(result.rows()) == 9
+        table = result.format_table()
+        for workload in WORKLOADS:
+            for arm, _ in ARMS:
+                assert arm_label(workload, arm) in table

@@ -141,3 +141,59 @@ class TestAccounting:
         net = make_network()
         ctrl = DynamicTopologyController(net, pinned(TopologyMode.TORUS))
         assert ctrl.mode_history[0] == (0.0, TopologyMode.TORUS)
+
+
+class TestDecisionAudit:
+    """Mode transitions route through the decision log (satellite:
+    degrade decisions used to be invisible to the audit)."""
+
+    def test_mode_transitions_are_logged_per_link_class(self):
+        from repro.obs.decisions import (
+            DecisionLog,
+            TOPOLOGY_OFF,
+            TOPOLOGY_ON,
+        )
+
+        net = make_network()
+        log = DecisionLog(max_records=None)
+        ctrl = DynamicTopologyController(
+            net, pinned(TopologyMode.FBFLY), decision_log=log)
+        ctrl._set_mode(TopologyMode.MESH)
+        offs = [d for d in log.records if d.reason == TOPOLOGY_OFF]
+        # FBFLY -> MESH darkens both non-mesh classes.
+        assert {d.group for d in offs} == {
+            LinkClass.TORUS_WRAP.value, LinkClass.EXPRESS.value}
+        for d in offs:
+            assert d.changed is False
+            assert d.new_rate is None
+            assert d.channels
+        ctrl._set_mode(TopologyMode.FBFLY)
+        ons = [d for d in log.records if d.reason == TOPOLOGY_ON]
+        assert {d.group for d in ons} == {
+            LinkClass.TORUS_WRAP.value, LinkClass.EXPRESS.value}
+
+    def test_no_log_records_without_a_transition(self):
+        from repro.obs.decisions import DecisionLog
+
+        net = make_network()
+        log = DecisionLog(max_records=None)
+        ctrl = DynamicTopologyController(
+            net, pinned(TopologyMode.FBFLY), decision_log=log)
+        ctrl._set_mode(TopologyMode.FBFLY)   # no-op re-entry
+        assert not log.records
+
+    def test_experiment_points_carry_decision_counts(self):
+        from repro.experiments.dynamic_topology import _run_point
+        from repro.experiments.scale import SCALES
+
+        # A pinned config applies its mode at construction — it never
+        # *transitions*, so the audit stays silent on topology.
+        static = _run_point("static-mesh", SCALES["small"], 0.05,
+                            pinned(TopologyMode.MESH))
+        assert static.decision_counts is not None
+        assert "topology_off" not in static.decision_counts
+        # A dynamic run starting FBFLY under light load downgrades,
+        # and those darkenings now land in the decision counts.
+        dynamic = _run_point("dynamic", SCALES["small"], 0.05,
+                             DynamicTopologyConfig())
+        assert dynamic.decision_counts.get("topology_off", 0) > 0

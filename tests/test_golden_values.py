@@ -93,6 +93,39 @@ class TestGoldenFiles:
                 assert "latency" in arm["violations"]
 
 
+    def test_demand_topology_campaign_digest_matches(self):
+        frozen = golden.load(GOLDEN_DIR, "demand_topology")
+        golden.assert_close(frozen, golden.demand_topology_payload())
+
+    def test_demand_topology_verdict_frozen(self):
+        # The tentpole's acceptance demo, spelled out: the demand-aware
+        # arm strictly beats static FBFLY on energy at bounded latency
+        # cost on every gated matrix, and no arm — static, degraded or
+        # demand-aware — ever partitions the fabric or violates the
+        # connectivity guard.
+        frozen = golden.load(GOLDEN_DIR, "demand_topology")
+        assert frozen["demand_wins"] is True
+        assert frozen["safe_everywhere"] is True
+        verdict = frozen["verdict"]
+        assert verdict["ok"] is True
+        max_latency = verdict["verdict"]["max_latency_factor"]
+        gated = set(verdict["verdict"]["gated_workloads"])
+        for arm in verdict["arms"]:
+            assert arm["partitions"] == 0
+            assert arm["guard_violations"] == 0
+            workload, _, mode = arm["label"].partition("/")
+            if mode == "demand" and workload in gated:
+                assert arm["power_delta"] < 0
+                assert arm["latency_factor"] <= max_latency
+                assert arm["dark_mean"] > 0
+        # The degraded arm exists to show why static darkening is not
+        # enough: it darkens more but pays for it in latency on the
+        # skewed matrix.
+        by_label = {a["label"]: a for a in verdict["arms"]}
+        assert (by_label["skewed/degraded"]["latency_factor"]
+                > by_label["skewed/demand"]["latency_factor"])
+
+
 class TestAssertClose:
     def test_accepts_tiny_float_noise(self):
         golden.assert_close({"x": 1.0}, {"x": 1.0 + 1e-12})

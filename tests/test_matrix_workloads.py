@@ -1,0 +1,144 @@
+"""Structured traffic-matrix workloads (skewed, shifting, diurnal)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.matrix import (
+    DiurnalWorkload,
+    ShiftingMatrixWorkload,
+    SkewedMatrixWorkload,
+)
+
+HOSTS = 16
+PER_SWITCH = 4
+
+
+def skewed(**kw):
+    args = dict(num_hosts=HOSTS, hosts_per_switch=PER_SWITCH,
+                offered_load=0.3, seed=5)
+    args.update(kw)
+    return SkewedMatrixWorkload(**args)
+
+
+class TestValidation:
+    def test_rejects_partial_switches(self):
+        with pytest.raises(ValueError):
+            SkewedMatrixWorkload(num_hosts=10, hosts_per_switch=4)
+
+    def test_rejects_single_switch(self):
+        with pytest.raises(ValueError):
+            SkewedMatrixWorkload(num_hosts=4, hosts_per_switch=4)
+
+    def test_rejects_bad_load_and_phase(self):
+        with pytest.raises(ValueError):
+            skewed(offered_load=0.0)
+        with pytest.raises(ValueError):
+            ShiftingMatrixWorkload(HOSTS, PER_SWITCH, phase_ns=0.0)
+        with pytest.raises(ValueError):
+            DiurnalWorkload(HOSTS, floor=1.5)
+
+
+class TestSkewedStructure:
+    def test_shares_sum_to_one_and_are_skewed(self):
+        wl = skewed(zipf_s=1.2)
+        shares = wl.send_shares()
+        assert sum(shares) == pytest.approx(1.0)
+        assert max(shares) > 2.0 * min(shares)
+
+    def test_partner_is_never_self_and_stable(self):
+        wl = skewed()
+        for s in range(wl.num_switches):
+            partner = wl.partner_of(s)
+            assert partner != s
+            assert partner == wl.partner_of(s)
+
+    def test_events_respect_the_partner_matrix(self):
+        wl = skewed()
+        events = list(wl.events(200_000.0))
+        assert events
+        for ev in events:
+            src_switch = wl.switch_of(ev.src)
+            assert wl.switch_of(ev.dst) == wl.partner_of(src_switch)
+            assert ev.dst != ev.src
+
+    def test_events_are_time_sorted_and_deterministic(self):
+        wl = skewed()
+        a = list(wl.events(100_000.0))
+        b = list(skewed().events(100_000.0))
+        assert a == b
+        times = [ev.time_ns for ev in a]
+        assert times == sorted(times)
+
+    def test_seed_changes_the_matrix(self):
+        partners_a = [skewed(seed=1).partner_of(s) for s in range(4)]
+        partners_b = [skewed(seed=2).partner_of(s) for s in range(4)]
+        shares_a = skewed(seed=1).send_shares()
+        shares_b = skewed(seed=2).send_shares()
+        assert partners_a != partners_b or shares_a != shares_b
+
+
+class TestShiftingStructure:
+    def test_phase_advances_with_time(self):
+        wl = ShiftingMatrixWorkload(HOSTS, PER_SWITCH, phase_ns=1000.0,
+                                    seed=5)
+        assert wl._phase_at(0.0) == 0
+        assert wl._phase_at(999.0) == 0
+        assert wl._phase_at(1000.0) == 1
+        assert wl._phase_at(2500.0) == 2
+
+    def test_hot_pairs_relocate_across_phases(self):
+        wl = ShiftingMatrixWorkload(HOSTS, PER_SWITCH, seed=5)
+        first = [wl.partner_of(s, phase=0)
+                 for s in range(wl.num_switches)]
+        later = [wl.partner_of(s, phase=1)
+                 for s in range(wl.num_switches)]
+        assert first != later
+        for s, partner in enumerate(later):
+            assert partner != s
+
+
+class TestDiurnalEnvelope:
+    def test_intensity_starts_at_peak_and_bottoms_at_floor(self):
+        wl = DiurnalWorkload(HOSTS, period_ns=1000.0, floor=0.2)
+        assert wl.intensity_at(0.0) == pytest.approx(1.0)
+        assert wl.intensity_at(500.0) == pytest.approx(0.2)
+        assert wl.intensity_at(1000.0) == pytest.approx(1.0)
+        for t in range(0, 1000, 50):
+            assert 0.2 <= wl.intensity_at(float(t)) <= 1.0
+
+    def test_night_is_quieter_than_day(self):
+        wl = DiurnalWorkload(HOSTS, offered_load=0.5,
+                             period_ns=400_000.0, floor=0.1,
+                             message_bytes=4096, seed=5)
+        day, night = 0, 0
+        for ev in wl.events(400_000.0):
+            if 100_000.0 <= ev.time_ns < 300_000.0:
+                night += 1
+            else:
+                day += 1
+        assert day > night
+
+    def test_deterministic_and_sorted(self):
+        def trace():
+            return list(DiurnalWorkload(HOSTS, seed=9,
+                                        message_bytes=4096)
+                        .events(100_000.0))
+
+        a, b = trace(), trace()
+        assert a == b
+        assert [e.time_ns for e in a] == sorted(e.time_ns for e in a)
+        assert all(e.src != e.dst for e in a)
+
+
+class TestRunnerWiring:
+    def test_spec_builds_each_matrix_workload(self):
+        from repro.experiments.runner import SimulationSpec
+
+        for name, cls in (("skewed", SkewedMatrixWorkload),
+                          ("shifting", ShiftingMatrixWorkload),
+                          ("diurnal", DiurnalWorkload)):
+            spec = SimulationSpec(k=4, n=2, workload=name)
+            wl = spec.build_workload(64, 40.0)
+            assert isinstance(wl, cls)
+            assert wl.num_hosts == 64

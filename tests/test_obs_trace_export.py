@@ -77,6 +77,44 @@ class TestExportTrace:
             assert abs(total - duration_us) < 1.0
 
 
+class TestTopologyTrack:
+    TOPO_SPEC = SimulationSpec(k=4, n=2, duration_ns=100_000.0,
+                               workload="skewed", control="demand_topo",
+                               policy="ladder")
+
+    def test_topology_events_get_their_own_track(self, tmp_path):
+        trace = export_trace(self.TOPO_SPEC, tmp_path / "topo.json")
+        assert trace["otherData"]["topology_events"] > 0
+        names = {event["args"]["name"]
+                 for event in trace["traceEvents"]
+                 if event["ph"] == "M"
+                 and event["name"] == "thread_name"}
+        assert "topology" in names
+        instants = [event for event in trace["traceEvents"]
+                    if event["ph"] == "i"
+                    and event["name"].startswith("topology_off:")]
+        assert instants
+
+    def test_dark_groups_counter_tracks_the_dark_set(self, tmp_path):
+        trace = export_trace(self.TOPO_SPEC, tmp_path / "topo.json")
+        counters = [event["args"]["dark_groups"]
+                    for event in trace["traceEvents"]
+                    if event["ph"] == "C"
+                    and event["name"] == "dark_groups"]
+        assert counters
+        assert all(value >= 0 for value in counters)
+        assert max(counters) > 0
+
+    def test_no_topology_track_without_topology_control(self, tmp_path):
+        trace = export_trace(SPEC, tmp_path / "plain.json")
+        assert trace["otherData"]["topology_events"] == 0
+        names = {event["args"]["name"]
+                 for event in trace["traceEvents"]
+                 if event["ph"] == "M"
+                 and event["name"] == "thread_name"}
+        assert "topology" not in names
+
+
 class TestValidateTrace:
     def test_rejects_non_object(self):
         assert validate_trace([1, 2]) != []

@@ -34,7 +34,7 @@ SRC_ROOT = Path(__file__).resolve().parent.parent / "src"
 #: codes (tuples-of-reasons and similar groupings).
 NON_REASON_CONSTANTS = {
     "REASONS", "FAULT_REASONS", "CONTROL_FAULT_REASONS",
-    "FAILSAFE_REASONS",
+    "FAILSAFE_REASONS", "TOPOLOGY_REASONS",
 }
 
 
