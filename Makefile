@@ -5,7 +5,7 @@ PY := PYTHONPATH=src python
 JOBS ?= 4
 
 .PHONY: test bench perf perf-quick perf-baseline smoke-sweep chaos \
-	topo golden-refresh clean-cache
+	topo serve golden-refresh clean-cache
 
 test:            ## tier-1 test suite
 	$(PY) -m pytest -x -q
@@ -35,6 +35,9 @@ chaos:           ## control-plane chaos campaign, gated on the SLO verdict
 
 topo:            ## demand-aware topology campaign, gated on its verdict
 	$(PY) -m repro topo --compare --jobs $(JOBS)
+
+serve:           ## live-service resilience campaign, gated on its verdict
+	$(PY) -m repro serve --compare
 
 golden-refresh:  ## deliberately regenerate tests/golden/*.json
 	$(PY) -m repro golden-refresh --no-cache

@@ -19,6 +19,8 @@ Usage::
     python -m repro faults --compare               # fault campaign verdict
     python -m repro chaos --compare                # control-plane chaos SLOs
     python -m repro topo --compare                 # demand-aware topology verdict
+    python -m repro serve --compare                # live service resilience SLOs
+    python -m repro serve --single slow/resilient --trace-out svc.json
 
 Simulation-backed experiments honour ``--scale`` (equivalent to the
 ``REPRO_SCALE`` environment variable); analytic ones ignore it.  Their
@@ -69,6 +71,7 @@ from repro.experiments import (
     routing_ablation,
     savings,
     sensors,
+    service_resilience,
     table1,
     table2,
     topology_comparison,
@@ -117,6 +120,9 @@ EXPERIMENTS: Dict[str, tuple] = {
     "demand-topology": ("demand-aware topology control vs static "
                         "FBFLY/degraded under structured matrices",
                         True, demand_topology.run),
+    "service-resilience": ("live control-plane service: resilient vs "
+                           "unprotected SLOs under stream chaos", False,
+                           service_resilience.run),
 }
 
 
@@ -296,14 +302,53 @@ def build_obs_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _summarize_service_records(records) -> None:
+    """Roll up ``kind: service`` run records: decision-latency
+    percentiles plus shed/retry/restart health counters."""
+    print(f"service records: {len(records)}")
+    for record in records:
+        summary = record.get("summary", {})
+        print(f"  {record.get('label', '?'):24s} "
+              f"epochs={summary.get('epochs', 0)} "
+              f"dec/s={summary.get('decisions_per_sec', 0):.2f} "
+              f"p50={summary.get('latency_p50_ns', 0) / 1e6:.0f}ms "
+              f"p99={summary.get('latency_p99_ns', 0) / 1e6:.0f}ms "
+              f"partitions={summary.get('partitions', 0)}")
+    totals = {}
+    for key in ("sheds", "retries", "retry_exhausted", "restarts",
+                "recoveries", "stale_holds", "safe_floors",
+                "journal_evictions", "checkpoints"):
+        totals[key] = sum(r.get("summary", {}).get(key, 0)
+                          for r in records)
+    print("service health rollup: "
+          f"shed={totals['sheds']} retries={totals['retries']} "
+          f"(exhausted={totals['retry_exhausted']}) "
+          f"restarts={totals['restarts']} "
+          f"recoveries={totals['recoveries']} "
+          f"stale_holds={totals['stale_holds']} "
+          f"safe_floors={totals['safe_floors']} "
+          f"journal_evictions={totals['journal_evictions']} "
+          f"checkpoints={totals['checkpoints']}")
+    worst = max((r.get("summary", {}).get("latency_p99_ns", 0)
+                 for r in records), default=0)
+    print(f"worst service p99 decision latency: {worst / 1e6:.0f}ms")
+
+
 def _obs_summarize(run_log: Path) -> int:
     """Implement ``obs summarize``: totals plus the decision audit."""
     from repro.obs.runrecord import read_run_log, transitions_accounted
 
-    records = read_run_log(run_log)
-    if not records:
+    all_records = read_run_log(run_log)
+    if not all_records:
         print(f"{run_log}: no run records")
         return 1
+    service_records = [r for r in all_records
+                       if r.get("kind") == "service"]
+    records = [r for r in all_records if r.get("kind") != "service"]
+    if service_records:
+        _summarize_service_records(service_records)
+    if not records:
+        return 0
     cached = sum(1 for r in records if r.get("cached"))
     keys = {r.get("cache_key") for r in records}
     print(f"{run_log}: {len(records)} records "
@@ -720,6 +765,123 @@ def topo_main(argv) -> int:
     return 0
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Construct the parser for the ``serve`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Run the live control-plane service over an "
+                    "accelerated diurnal trace.  Default: the "
+                    "resilience campaign (fault-free reference plus "
+                    "resilient and unprotected arms under telemetry "
+                    "dropout, actuation loss, controller crash and a "
+                    "slow consumer) with an SLO verdict; --single "
+                    "runs one arm and can export its run record, "
+                    "metrics dump and Perfetto trace.",
+    )
+    parser.add_argument(
+        "--compare", action="store_true",
+        help="gate the exit status on the SLO verdict: every "
+             "resilient arm must meet all three SLOs (zero "
+             "partitions, bounded p99 decision latency, a "
+             "decisions/sec floor) while every unprotected arm "
+             "violates at least one")
+    parser.add_argument(
+        "--json-out", type=Path, default=None, metavar="PATH",
+        help="write the machine-readable SLO verdict as JSON "
+             "(the CI artifact)")
+    parser.add_argument(
+        "--single", default=None, metavar="ARM",
+        help="run one arm instead of the campaign: 'reference' or "
+             "'<scenario>/<resilient|unprotected>' with scenario in "
+             "dropout/loss/crash/slow")
+    parser.add_argument(
+        "--epochs", type=int, default=None, metavar="N",
+        help="override the --single arm's epoch count")
+    parser.add_argument(
+        "--run-log", type=Path, default=None, metavar="PATH",
+        help="append one service run record per arm (readable by "
+             "'repro obs summarize')")
+    parser.add_argument(
+        "--metrics-out", type=Path, default=None, metavar="PATH",
+        help="with --single: write the Prometheus-flavoured metrics "
+             "dump")
+    parser.add_argument(
+        "--trace-out", type=Path, default=None, metavar="PATH",
+        help="with --single: write a Perfetto-loadable Chrome trace "
+             "of the service timeline")
+    return parser
+
+
+def serve_main(argv) -> int:
+    """Entry point for ``python -m repro serve ...``."""
+    import dataclasses as _dc
+
+    from repro.experiments import service_resilience as sr
+    from repro.obs.decisions import DecisionLog
+    from repro.obs.runrecord import RunRecordWriter
+    from repro.service.service import ControlPlaneService
+
+    args = build_serve_parser().parse_args(argv)
+    writer = (RunRecordWriter(args.run_log)
+              if args.run_log is not None else None)
+
+    if args.single is not None:
+        arms = sr.build_arms()
+        if args.single not in arms:
+            print(f"error: unknown arm {args.single!r}; one of "
+                  f"{', '.join(sorted(arms))}", file=sys.stderr)
+            return 1
+        config, scenario, slow = arms[args.single]
+        if args.epochs is not None:
+            config = _dc.replace(config, epochs=args.epochs)
+        want_trace = args.trace_out is not None
+        service = ControlPlaneService(
+            config, scenario=scenario, slow=slow,
+            decision_log=DecisionLog(max_records=None)
+            if want_trace else None,
+            capture_events=want_trace)
+        summary = service.run()
+        print(f"{args.single}: {summary.format_line()}")
+        if writer is not None:
+            writer.record_service(args.single, config, summary)
+            print(f"appended run record to {args.run_log}")
+        if args.metrics_out is not None:
+            args.metrics_out.parent.mkdir(parents=True, exist_ok=True)
+            args.metrics_out.write_text(service.metrics.format_text())
+            print(f"wrote {args.metrics_out}")
+        if want_trace:
+            from repro.obs.trace_export import export_service_trace
+            trace = export_service_trace(
+                service, args.trace_out,
+                label=f"repro serve {args.single}")
+            meta = trace["otherData"]
+            print(f"wrote {args.trace_out}: "
+                  f"{len(trace['traceEvents'])} events, "
+                  f"{meta['groups']} group tracks, "
+                  f"{meta['service_events']} service events")
+        return 0
+
+    result = sr.run()
+    print(result.format_table())
+    print()
+    for line in result.verdict_lines():
+        print(line)
+    if writer is not None:
+        for label, (config, _, _) in sr.build_arms().items():
+            writer.record_service(label, config, result.by_label[label])
+        print(f"appended {writer.records_written} run records to "
+              f"{args.run_log}")
+    if args.json_out is not None:
+        args.json_out.parent.mkdir(parents=True, exist_ok=True)
+        args.json_out.write_text(
+            json.dumps(result.verdict_dict(), indent=2, sort_keys=True)
+            + "\n")
+        print(f"wrote {args.json_out}")
+    if args.compare:
+        return 0 if result.ok else 1
+    return 0
+
+
 def obs_main(argv) -> int:
     """Entry point for ``python -m repro obs ...``."""
     args = build_obs_parser().parse_args(argv)
@@ -950,6 +1112,8 @@ def main(argv=None) -> int:
         return chaos_main(list(argv[1:]))
     if argv and argv[0] == "topo":
         return topo_main(list(argv[1:]))
+    if argv and argv[0] == "serve":
+        return serve_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
 
     sweep.configure(jobs=args.jobs, use_cache=not args.no_cache,

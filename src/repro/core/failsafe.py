@@ -98,6 +98,12 @@ class FailsafeConfig:
             ladder rate up: a held or floored link that is visibly
             backing up must not stay slow just because its reports
             are lost.
+        journal_cap: Hard bound on the power-intent journal.  The
+            journal is keyed by group name, so it is naturally small —
+            but a topology layer that invents transient group labels
+            (or a bug that does) must degrade to oldest-entry eviction
+            (counted in ``FailsafeGuard.journal_evictions``), never to
+            unbounded memory on a long-running control plane.
     """
 
     staleness_ttl_epochs: int = 3
@@ -105,6 +111,7 @@ class FailsafeConfig:
     retry_max_epochs: int = 8
     floor_rate: Optional[float] = None
     pressure_queue_fraction: float = 0.5
+    journal_cap: int = 4096
 
 
 class _GroupState:
@@ -223,6 +230,7 @@ class FailsafeGuard:
         self.reconfigurations = 0
         self.controller_down_epochs = 0
         self._journal: Dict[str, Tuple[str, float]] = {}
+        self.journal_evictions = 0
         self._last_restart_ns: Optional[float] = None
         self._last_epochs_run = controller.epochs_run
         self._silent = 0
@@ -241,9 +249,21 @@ class FailsafeGuard:
         if reason == CONTROL_FAULT_RESTART:
             self._last_restart_ns = decision.time_ns
         elif reason in (GATED_OFF, TOPOLOGY_OFF):
-            self._journal[decision.group] = ("off", decision.time_ns)
+            self._journal_put(decision.group, ("off", decision.time_ns))
         elif reason in (GATED_WAKE, TOPOLOGY_ON):
-            self._journal[decision.group] = ("on", decision.time_ns)
+            self._journal_put(decision.group, ("on", decision.time_ns))
+
+    def _journal_put(self, name: str, entry: Tuple[str, float]) -> None:
+        """Insert a power-intent entry under the ``journal_cap`` bound
+        (oldest entry evicted; dict insertion order is the age order,
+        since updating a key re-inserts it)."""
+        journal = self._journal
+        if name in journal:
+            del journal[name]
+        elif len(journal) >= self.config.journal_cap:
+            del journal[next(iter(journal))]
+            self.journal_evictions += 1
+        journal[name] = entry
 
     # -- actuation filter (called via GuardedGroup.set_rate) -------------
 
@@ -418,7 +438,7 @@ class FailsafeGuard:
                 ch.draining = False
         # Controller decisions for this group restart from scratch.
         group._st.intended_rate = None
-        self._journal[group.name] = ("on", self.sim.now)
+        self._journal_put(group.name, ("on", self.sim.now))
         self._log(group, reason, old_rate=None, new_rate=rate_gbps,
                   changed=False)
 

@@ -28,6 +28,7 @@ from repro.experiments import (
     figure1,
     figure7,
     predictive,
+    service_resilience,
     table1,
 )
 from repro.experiments.cache import summary_digest
@@ -172,6 +173,28 @@ def demand_topology_payload() -> Dict[str, Any]:
     }
 
 
+def service_resilience_payload() -> Dict[str, Any]:
+    """The live-service resilience campaign's digests and SLO verdict.
+
+    Freezes the whole service stack at the campaign's pinned trace and
+    seeds: per-arm summary digests (decision-latency percentiles,
+    shed/retry/restart/recovery counters, the plant's availability and
+    energy accounting), the per-arm SLO verdicts, and the two
+    acceptance booleans — every resilient arm meeting all three SLOs,
+    every unprotected arm violating at least one.  The service runs in
+    virtual time with string-seeded draws, so the payload is exact on
+    any machine.
+    """
+    result = service_resilience.run()
+    return {
+        "runs": {label: summary.digest()
+                 for label, summary in result.by_label.items()},
+        "verdict": result.verdict_dict(),
+        "resilient_ok": result.resilient_ok,
+        "unprotected_degraded": result.unprotected_degraded,
+    }
+
+
 #: name -> payload builder; the golden file set.
 GOLDEN_BUILDERS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "table1": table1_payload,
@@ -181,6 +204,7 @@ GOLDEN_BUILDERS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "faults": faults_payload,
     "chaos": chaos_payload,
     "demand_topology": demand_topology_payload,
+    "service_resilience": service_resilience_payload,
 }
 
 

@@ -37,6 +37,8 @@ from __future__ import annotations
 import contextlib
 import os
 import random
+import signal
+import threading
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
@@ -78,6 +80,49 @@ def _execute_spec(spec: SimulationSpec) -> SimulationSummary:
     return run_simulation(spec)
 
 
+class SweepInterrupted(Exception):
+    """Internal: a batch was interrupted mid-execution.
+
+    Carries the partial, ``misses``-aligned result list (``None`` for
+    every spec that never completed) so :meth:`SweepRunner.run` can
+    persist what *did* finish — cache entries and run-log records —
+    before re-raising ``KeyboardInterrupt`` to the caller.
+    """
+
+    def __init__(self, partial):
+        super().__init__("sweep interrupted")
+        self.partial = partial
+
+
+def _raise_keyboard_interrupt(signum, frame):
+    """SIGTERM handler installed for the duration of a batch."""
+    raise KeyboardInterrupt()
+
+
+@contextlib.contextmanager
+def _sigterm_as_interrupt():
+    """Deliver SIGTERM as ``KeyboardInterrupt`` while a batch runs.
+
+    A supervisor's polite kill then takes the same graceful-drain path
+    as Ctrl-C.  Signal handlers only install from the main thread (and
+    not on every platform); anywhere else this is a no-op and SIGTERM
+    keeps its default disposition.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    try:
+        previous = signal.signal(signal.SIGTERM,
+                                 _raise_keyboard_interrupt)
+    except (ValueError, OSError, AttributeError):
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
 @dataclass
 class SweepStats:
     """Counters for sweep executions, ``repro.sim.stats``-style.
@@ -95,6 +140,9 @@ class SweepStats:
         failed: Specs that exhausted their whole retry budget; they
             are absent from the sweep's results instead of aborting
             it.
+        interrupted: Specs abandoned when a batch was interrupted
+            (Ctrl-C / SIGTERM) before they completed; completed specs
+            from the same batch are still cached and logged.
         wall_seconds: Harness wall-clock across the counted sweeps.
         run_seconds_total: Sum of per-run simulation wall times.
         run_seconds_max: Slowest single run.
@@ -110,6 +158,7 @@ class SweepStats:
     executed: int = 0
     retried: int = 0
     failed: int = 0
+    interrupted: int = 0
     wall_seconds: float = 0.0
     run_seconds_total: float = 0.0
     run_seconds_max: float = 0.0
@@ -144,6 +193,7 @@ class SweepStats:
             "executed": self.executed,
             "retried": self.retried,
             "failed": self.failed,
+            "interrupted": self.interrupted,
             "wall_seconds": self.wall_seconds,
             "run_seconds_total": self.run_seconds_total,
             "run_seconds_max": self.run_seconds_max,
@@ -160,6 +210,7 @@ class SweepStats:
         self.executed += other.executed
         self.retried += other.retried
         self.failed += other.failed
+        self.interrupted += other.interrupted
         self.wall_seconds += other.wall_seconds
         self.run_seconds_total += other.run_seconds_total
         self.events_fired += other.events_fired
@@ -176,6 +227,7 @@ class SweepStats:
             executed=self.executed - baseline.executed,
             retried=self.retried - baseline.retried,
             failed=self.failed - baseline.failed,
+            interrupted=self.interrupted - baseline.interrupted,
             wall_seconds=self.wall_seconds - baseline.wall_seconds,
             run_seconds_total=(self.run_seconds_total
                                - baseline.run_seconds_total),
@@ -189,7 +241,8 @@ class SweepStats:
             submitted=self.submitted, unique=self.unique,
             memo_hits=self.memo_hits, cache_hits=self.cache_hits,
             executed=self.executed, retried=self.retried,
-            failed=self.failed, wall_seconds=self.wall_seconds,
+            failed=self.failed, interrupted=self.interrupted,
+            wall_seconds=self.wall_seconds,
             run_seconds_total=self.run_seconds_total,
             run_seconds_max=self.run_seconds_max,
             events_fired=self.events_fired,
@@ -208,6 +261,8 @@ class SweepStats:
         if self.failed:
             parts.insert(2 if self.retried else 1,
                          f"{self.failed} failed")
+        if self.interrupted:
+            parts.append(f"{self.interrupted} interrupted")
         if self.executed:
             parts.append(f"mean run {self.mean_run_seconds:.2f}s")
             parts.append(f"max run {self.run_seconds_max:.2f}s")
@@ -250,6 +305,13 @@ class SweepRunner:
     ``SweepStats.failed``, logged to the run log as a failure record
     (with its attempt count), and simply absent from the returned
     results.
+
+    Interruption is graceful: ``KeyboardInterrupt`` (and SIGTERM,
+    remapped for the duration of the batch) drains in-flight workers,
+    caches and logs every summary that completed, counts the abandoned
+    specs under ``SweepStats.interrupted``, and only then re-raises —
+    a killed multi-hour campaign loses at most the runs that were
+    mid-flight, never the finished ones.
     """
 
     def __init__(self, jobs: Optional[int] = None, use_cache: bool = True,
@@ -354,7 +416,17 @@ class SweepRunner:
                 misses.append(spec)
 
         simulated = set(misses)
-        for spec, summary in zip(misses, self._execute_batch(misses, batch)):
+        interrupted = False
+        with _sigterm_as_interrupt():
+            try:
+                executed = self._execute_batch(misses, batch)
+            except SweepInterrupted as stop:
+                # Graceful shutdown: in-flight workers were drained;
+                # persist everything that completed, then re-raise so
+                # the caller still sees the interrupt.
+                interrupted = True
+                executed = stop.partial
+        for spec, summary in zip(misses, executed):
             if summary is None:
                 continue    # failed twice; recorded via _record_failure
             batch.record_run(summary.wall_seconds, summary.events_fired)
@@ -372,6 +444,8 @@ class SweepRunner:
         batch.wall_seconds = time.perf_counter() - started
         self.stats.merge(batch)
         self.last_stats = batch
+        if interrupted:
+            raise KeyboardInterrupt()
         return {spec: results[spec] for spec in ordered
                 if spec in results}
 
@@ -396,6 +470,10 @@ class SweepRunner:
             for spec in misses:
                 try:
                     out.append(worker(spec))
+                except KeyboardInterrupt:
+                    batch.interrupted += len(misses) - len(out)
+                    raise SweepInterrupted(
+                        out + [None] * (len(misses) - len(out)))
                 except Exception as exc:
                     out.append(self._retry_inline(spec, batch, exc))
             return out
@@ -406,9 +484,31 @@ class SweepRunner:
             for spec, future in zip(misses, futures):
                 try:
                     out.append(future.result())
+                except KeyboardInterrupt:
+                    raise self._drain_interrupted(pool, futures, out,
+                                                  batch)
                 except Exception as exc:
                     out.append(self._retry_inline(spec, batch, exc))
             return out
+
+    def _drain_interrupted(self, pool, futures, out,
+                           batch: SweepStats) -> SweepInterrupted:
+        """Graceful pool shutdown after Ctrl-C / SIGTERM mid-batch.
+
+        Cancels everything still queued, waits for in-flight workers
+        to drain, then harvests any future that completed anyway —
+        those results are real simulations and deserve the cache and
+        the run log.  Specs that never produced a summary count under
+        ``SweepStats.interrupted``.
+        """
+        pool.shutdown(wait=True, cancel_futures=True)
+        for future in futures[len(out):]:
+            done = (future.done() and not future.cancelled()
+                    and future.exception() is None)
+            out.append(future.result() if done else None)
+            if not done:
+                batch.interrupted += 1
+        return SweepInterrupted(out)
 
     def _worker(self):
         """The per-spec execution callable in effect."""

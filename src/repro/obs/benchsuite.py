@@ -256,6 +256,26 @@ def _predict_frontier_execute(scale, jobs=1) -> ScenarioRun:
                        payload=results)
 
 
+def _service_decide_execute(scale, jobs=1) -> ScenarioRun:
+    """bench_service: one fault-free day of the live control plane.
+
+    Times the full asyncio service (ingest, decision ladder, journaled
+    actuation, checkpointing) in virtual time; the payload's decision
+    latency percentiles and decisions/sec are the service-health
+    numbers the resilience SLOs gate on.
+    """
+    import dataclasses
+
+    from repro.experiments.service_resilience import CAMPAIGN_CONFIG
+    from repro.service.service import ControlPlaneService
+
+    config = dataclasses.replace(
+        CAMPAIGN_CONFIG, epochs=CAMPAIGN_CONFIG.epochs_per_day)
+    summary = ControlPlaneService(config).run()
+    return ScenarioRun(events=summary.decisions,
+                       sim_ns=config.duration_ns, payload=summary)
+
+
 #: Experiments fast enough for ``--quick`` (the analytic tables plus
 #: the smallest simulation sweeps stay out — quick is a smoke gate).
 _QUICK_EXPERIMENTS = frozenset(
@@ -317,6 +337,11 @@ def ensure_default_scenarios() -> None:
         description="reactive/predictive/oracle frontier, 3 loads",
         execute=_predict_frontier_execute, quick=False,
         warmup=0, repeats=1, specs=_predict_frontier_specs))
+    register_scenario(Scenario(
+        name="service-decide", kind="sim",
+        description="live service, one fault-free diurnal day",
+        execute=_service_decide_execute, quick=True,
+        warmup=1, repeats=3, tolerance=0.5))
 
 
 # ---------------------------------------------------------------------------

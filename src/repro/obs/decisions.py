@@ -101,6 +101,32 @@ ladder, so they never perturb the transition audit):
   because the spanning set would not survive it *given the links
   already dark from faults* (the powered-off/faulted intersection).
 
+The live control-plane service (:mod:`repro.service`) adds six codes
+covering its robustness envelope — all emitted with ``changed=False``
+by the service machinery itself (actual rate changes it actuates are
+ordinary ladder decisions recorded under the reactive reasons):
+
+- ``service_shed`` — the bounded ingest stream crossed its high
+  watermark and shed the *oldest* queued reading of a group (the
+  newest is never shed, so the controller always decides on the
+  freshest survivor).
+- ``service_stale_hold`` — a group's telemetry aged past one epoch but
+  is still inside the staleness TTL: the decision loop held the
+  last-good rate instead of chasing silence.
+- ``service_safe_floor`` — telemetry aged past the TTL (or enough of
+  the fleet did): the group was ramped to the safe floor rate, and
+  woken if gating had powered it off — the service analogue of
+  ``failsafe_deadman``.
+- ``service_retry`` — an actuation got no acknowledgement inside the
+  timeout and was re-sent from the intent journal (seeded exponential
+  backoff, bounded attempts, idempotent on the plant).
+- ``service_restart`` — the supervisor's deadman tripped on a silent
+  decision loop and cold-restarted it from the latest checkpoint.
+- ``service_recovered`` — post-restart reconciliation: the supervisor
+  re-derived a gated-off group from the DecisionLog journal and woke
+  it (the :meth:`repro.core.failsafe.FailsafeGuard` ``release_gate``
+  semantics, applied across a process restart).
+
 The taxonomy is **closed**: :meth:`DecisionLog.record` raises
 ``ValueError`` on a reason outside :data:`REASONS` rather than silently
 counting a typo as a new category (aggregate counters keyed by
@@ -147,6 +173,12 @@ TOPOLOGY_OFF = "topology_off"
 TOPOLOGY_ON = "topology_on"
 TOPOLOGY_HELD = "topology_held"
 TOPOLOGY_GUARD_VETO = "topology_guard_veto"
+SERVICE_SHED = "service_shed"
+SERVICE_STALE_HOLD = "service_stale_hold"
+SERVICE_SAFE_FLOOR = "service_safe_floor"
+SERVICE_RETRY = "service_retry"
+SERVICE_RESTART = "service_restart"
+SERVICE_RECOVERED = "service_recovered"
 
 #: The control-plane chaos subset (what the fault injector did).
 CONTROL_FAULT_REASONS = (CONTROL_FAULT_TELEMETRY_LOST,
@@ -165,6 +197,11 @@ FAILSAFE_REASONS = (FAILSAFE_HOLD, FAILSAFE_DEADMAN,
 TOPOLOGY_REASONS = (TOPOLOGY_OFF, TOPOLOGY_ON, TOPOLOGY_HELD,
                     TOPOLOGY_GUARD_VETO)
 
+#: The live-service subset (how the async control-plane service kept
+#: the fabric safe: shedding, degraded modes, retries, restarts).
+SERVICE_REASONS = (SERVICE_SHED, SERVICE_STALE_HOLD, SERVICE_SAFE_FLOOR,
+                   SERVICE_RETRY, SERVICE_RESTART, SERVICE_RECOVERED)
+
 #: Every legal reason code (closed set; ``DecisionLog.record`` rejects
 #: anything else).
 REASONS = (ABOVE_THRESHOLD, BELOW_THRESHOLD, REACTIVATION_PENDING,
@@ -172,7 +209,8 @@ REASONS = (ABOVE_THRESHOLD, BELOW_THRESHOLD, REACTIVATION_PENDING,
            FORECAST_RAMP_UP, FORECAST_HOLD, FORECAST_MISS,
            FAULT_DOWN, FAULT_REPAIR, PARTITION,
            GATED_OFF, GATED_WAKE, PINNED_HOLD) \
-    + CONTROL_FAULT_REASONS + FAILSAFE_REASONS + TOPOLOGY_REASONS
+    + CONTROL_FAULT_REASONS + FAILSAFE_REASONS + TOPOLOGY_REASONS \
+    + SERVICE_REASONS
 
 #: The fault-campaign subset (rendered on the trace's fault track).
 FAULT_REASONS = (FAULT_DOWN, FAULT_REPAIR, PARTITION,

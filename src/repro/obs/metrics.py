@@ -29,6 +29,11 @@ LATENCY_BUCKETS_NS = (1e3, 1e4, 1e5, 1e6, 1e7)
 #: Default queue-depth buckets in bytes (powers of four up to 64 KiB).
 QUEUE_DEPTH_BUCKETS_BYTES = (256.0, 1024.0, 4096.0, 16384.0, 65536.0)
 
+#: Decision-latency buckets for the live control-plane service
+#: (virtual ns): 10 ms .. 100 s — fresh epoch processing lands in the
+#: low buckets, a backlogged consumer walks up them.
+SERVICE_LATENCY_BUCKETS_NS = (1e7, 1e8, 1e9, 1e10, 1e11)
+
 
 class Counter:
     """A monotonically increasing count.

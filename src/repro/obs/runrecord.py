@@ -154,6 +154,27 @@ class RunRecordWriter:
         }
         return self._append(record)
 
+    def record_service(self, label: str, config,
+                       summary) -> Dict[str, Any]:
+        """Append one record for a live control-plane service run.
+
+        Service records carry ``"kind": "service"`` plus the full
+        :meth:`~repro.service.service.ServiceSummary.digest` (latency
+        percentiles, shed/retry/restart counters, plant accounting)
+        and the pinned config, so ``repro obs summarize`` can roll up
+        service health alongside simulation provenance from one log.
+        """
+        record = {
+            "record_schema": RUN_RECORD_SCHEMA_VERSION,
+            "kind": "service",
+            "label": label,
+            "config": config.to_dict(),
+            "summary": summary.digest(),
+            "wall_seconds": summary.wall_seconds,
+            "provenance": self.provenance,
+        }
+        return self._append(record)
+
     def _append(self, record: Dict[str, Any]) -> Dict[str, Any]:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with open(self.path, "a", encoding="utf-8") as handle:

@@ -252,6 +252,133 @@ def export_trace(spec, out_path: Union[str, Path],
     return trace
 
 
+def build_service_trace(service, label: str = "repro service"
+                        ) -> Dict[str, Any]:
+    """Assemble the trace-event document for one finished service run.
+
+    The live control-plane service timeline, same format and the same
+    :func:`validate_trace` invariants as the simulator export:
+
+    - one track per link group carrying complete slices per interval
+      spent at a believed rate (``"off"`` while gated dark), rebuilt
+      from the decision log's changed/gating records;
+    - epoch marks as instants on the controller track;
+    - every ``service_*`` robustness event (shed, stale hold, safe
+      floor, retry, restart, recovery) as an instant on a dedicated
+      ``service`` track;
+    - counter tracks for ingest backlog and per-tick decision latency
+      (captured when the service runs with ``capture_events=True``).
+
+    Args:
+        service: A finished
+            :class:`~repro.service.service.ControlPlaneService` whose
+            decision log retained records (``max_records=None``).
+        label: Process name shown in the viewer.
+    """
+    from repro.obs.decisions import GATED_OFF, SERVICE_REASONS
+
+    config = service.config
+    decision_log = service.log
+    end_ns = service.clock.now_ns
+    events: List[Dict[str, Any]] = [{
+        "ph": "M", "pid": 1, "tid": CONTROLLER_TID,
+        "name": "process_name", "args": {"name": label},
+    }, {
+        "ph": "M", "pid": 1, "tid": CONTROLLER_TID,
+        "name": "thread_name", "args": {"name": "decision loop"},
+    }]
+
+    for time_ns in decision_log.epochs:
+        events.append({
+            "ph": "i", "pid": 1, "tid": CONTROLLER_TID, "s": "t",
+            "name": "epoch", "ts": _ns_to_us(time_ns),
+        })
+
+    transitions_by_group: Dict[str, List[Tuple[float, Optional[float]]]] = {}
+    for decision in decision_log.records:
+        if decision.reason == GATED_OFF:
+            transitions_by_group.setdefault(decision.group, []).append(
+                (decision.time_ns, None))
+        elif decision.changed or (decision.reason in SERVICE_REASONS
+                                  and decision.new_rate is not None):
+            transitions_by_group.setdefault(decision.group, []).append(
+                (decision.time_ns, decision.new_rate))
+
+    initial_rate = config.ladder.max_rate
+    for tid, group in enumerate(config.group_names, start=1):
+        events.append({
+            "ph": "M", "pid": 1, "tid": tid,
+            "name": "thread_name", "args": {"name": group},
+        })
+        transitions = transitions_by_group.get(group, [])
+        for start, stop, rate in _rate_segments(initial_rate, end_ns,
+                                                transitions):
+            name = "off" if rate is None else f"{rate:g}Gb/s"
+            events.append({
+                "ph": "X", "pid": 1, "tid": tid, "name": name,
+                "ts": _ns_to_us(start),
+                "dur": _ns_to_us(stop - start),
+                "args": {"rate_gbps": rate},
+            })
+
+    service_records = [d for d in decision_log.records
+                       if d.reason in SERVICE_REASONS]
+    if service_records:
+        service_tid = len(config.group_names) + 1
+        events.append({
+            "ph": "M", "pid": 1, "tid": service_tid,
+            "name": "thread_name", "args": {"name": "service"},
+        })
+        for decision in service_records:
+            events.append({
+                "ph": "i", "pid": 1, "tid": service_tid, "s": "t",
+                "name": f"{decision.reason}:{decision.group}",
+                "ts": _ns_to_us(decision.time_ns),
+            })
+
+    latency_samples = 0
+    for event in service.events:
+        if event["kind"] == "backlog":
+            events.append({
+                "ph": "C", "pid": 1, "name": "ingest_backlog",
+                "ts": _ns_to_us(event["time_ns"]),
+                "args": {"records": event["value"]},
+            })
+        elif event["kind"] == "decision_pass":
+            events.append({
+                "ph": "C", "pid": 1, "name": "decision_latency_ms",
+                "ts": _ns_to_us(event["start_ns"] + event["dur_ns"]),
+                "args": {"latency_ms": event["dur_ns"] / 1e6},
+            })
+            latency_samples += 1
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "exporter": "repro.obs.trace_export",
+            "groups": len(config.group_names),
+            "epochs": len(decision_log.epochs),
+            "service_events": len(service_records),
+            "latency_samples": latency_samples,
+        },
+    }
+
+
+def export_service_trace(service, out_path: Union[str, Path],
+                         label: str = "repro service") -> Dict[str, Any]:
+    """Write a finished service run's trace file; returns the document."""
+    trace = build_service_trace(service, label=label)
+    problems = validate_trace(trace)
+    if problems:
+        raise AssertionError(
+            "exporter produced an invalid trace: " + "; ".join(problems))
+    out_path = Path(out_path)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(trace) + "\n", encoding="utf-8")
+    return trace
+
+
 def validate_trace(payload: Any) -> List[str]:
     """Schema-check a trace document; returns problems (empty = valid).
 

@@ -1,0 +1,139 @@
+"""Deterministic virtual time for the asyncio control-plane service.
+
+A live control service must be *long-running* (multi-hour diurnal
+workloads) yet every campaign number it produces must be frozen in a
+golden file.  Wall-clock asyncio cannot give both: real timers are
+jittery and a multi-hour run is untestable.  :class:`VirtualClock`
+resolves the tension the way the discrete-event simulator does — time
+is a number we advance, not a thing we wait for:
+
+- every service coroutine sleeps through :meth:`VirtualClock.sleep` /
+  :meth:`sleep_until`, which park the task on a future keyed by its
+  virtual wake time (ties broken by registration order, like the sim
+  engine's event sequence numbers);
+- a single driver (:meth:`VirtualClock.drive`) alternates **settle**
+  phases — yielding to the event loop until no runnable task makes
+  progress — with **advance** phases that jump ``now_ns`` to the next
+  scheduled wake and release every future due at it.
+
+Determinism holds because asyncio's ready queue is FIFO, tasks are
+created in a fixed order, no wall-clock timer is ever armed, and every
+random draw in the service is a stateless string-seeded hash (the
+:mod:`repro.faults.control_faults` idiom).  Two runs of the same
+config produce byte-identical decision streams — which is what lets a
+crash-recovery test demand byte-identical decisions after a restore,
+and the resilience campaign freeze its verdict in a golden.
+
+Quiescence detection is cooperative: service code calls
+:meth:`VirtualClock.note` whenever it does observable work (ingest,
+decide, deliver, restart).  The settle loop watches that counter;
+``SETTLE_STABLE_YIELDS`` consecutive yields without progress means
+every task is parked on a clock future or an empty queue, and it is
+safe to advance time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+from typing import List, Optional, Tuple
+
+#: Consecutive no-progress event-loop yields that count as quiescent.
+SETTLE_STABLE_YIELDS = 4
+
+#: Settle-loop iteration cap: a service that cannot quiesce within
+#: this many yields is livelocked (a coroutine spinning without a
+#: clock sleep), and the driver fails loudly instead of hanging.
+SETTLE_MAX_YIELDS = 100_000
+
+
+class VirtualClock:
+    """Virtual-time scheduler shared by every service task."""
+
+    def __init__(self, start_ns: float = 0.0):
+        self.now_ns = float(start_ns)
+        #: Monotone progress counter; bumped by any observable work.
+        self.progress = 0
+        self._seq = 0
+        self._waiters: List[Tuple[float, int, asyncio.Future]] = []
+
+    # -- progress (quiescence) -------------------------------------------
+
+    def note(self) -> None:
+        """Record that observable work happened (settle watches this)."""
+        self.progress += 1
+
+    # -- sleeping ---------------------------------------------------------
+
+    async def sleep(self, delta_ns: float) -> None:
+        """Park the calling task for ``delta_ns`` of virtual time."""
+        await self.sleep_until(self.now_ns + max(0.0, delta_ns))
+
+    async def sleep_until(self, wake_ns: float) -> None:
+        """Park the calling task until virtual time ``wake_ns``."""
+        if wake_ns <= self.now_ns:
+            # Still yield once: keeps scheduling order fair and gives
+            # the driver a chance to observe progress between steps.
+            await asyncio.sleep(0)
+            return
+        future = asyncio.get_running_loop().create_future()
+        self._seq += 1
+        heapq.heappush(self._waiters, (float(wake_ns), self._seq, future))
+        await future
+
+    # -- advancing (driver side) ------------------------------------------
+
+    def next_wake(self) -> Optional[float]:
+        """Earliest scheduled wake time, or ``None`` if nothing sleeps."""
+        while self._waiters and self._waiters[0][2].cancelled():
+            heapq.heappop(self._waiters)
+        return self._waiters[0][0] if self._waiters else None
+
+    def advance_to(self, time_ns: float) -> int:
+        """Jump to ``time_ns`` and release every due sleeper.
+
+        Returns the number of tasks woken.  Time never moves backward.
+        """
+        if time_ns < self.now_ns:
+            raise ValueError(
+                f"virtual time cannot rewind: {time_ns} < {self.now_ns}")
+        self.now_ns = float(time_ns)
+        woken = 0
+        while self._waiters and self._waiters[0][0] <= self.now_ns:
+            _, _, future = heapq.heappop(self._waiters)
+            if not future.cancelled():
+                future.set_result(None)
+                woken += 1
+        if woken:
+            self.note()
+        return woken
+
+    async def _settle(self) -> None:
+        """Yield until no runnable task makes progress."""
+        stable = 0
+        for _ in range(SETTLE_MAX_YIELDS):
+            before = self.progress
+            await asyncio.sleep(0)
+            stable = stable + 1 if self.progress == before else 0
+            if stable >= SETTLE_STABLE_YIELDS:
+                return
+        raise RuntimeError(
+            "service failed to quiesce: a coroutine is busy-looping "
+            "without a virtual-clock sleep")
+
+    async def drive(self, horizon_ns: float) -> None:
+        """Run virtual time forward to ``horizon_ns``.
+
+        Alternates settle and advance until every sleeper past the
+        horizon is the only work left.  Leaves ``now_ns`` at the
+        horizon so summaries cover the full requested duration.
+        """
+        while True:
+            await self._settle()
+            wake = self.next_wake()
+            if wake is None or wake > horizon_ns:
+                break
+            self.advance_to(wake)
+        if self.now_ns < horizon_ns:
+            self.now_ns = float(horizon_ns)
+        await self._settle()

@@ -1,0 +1,212 @@
+"""Telemetry-in stream: the service's bounded ingest queue.
+
+The simulator hands the epoch controller perfect, synchronous
+readings; a live service gets an asynchronous stream that can outrun
+its consumer.  This module defines the wire records and the bounded
+ingest queue between the load generator and the decision loop:
+
+- :class:`TelemetryRecord` — one group's epoch reading (offered
+  demand as the sensor saw it, utilization, queue fraction, power
+  state), stamped with its emission time so decision latency is
+  measurable end-to-end.
+- :class:`EpochTick` — the epoch boundary marker.  The decision loop
+  decides once per *processed* tick, so under backlog the ticks queue
+  up and decision latency — not correctness — absorbs the lag.  Ticks
+  are control records: they are never shed and never counted against
+  the data watermark.
+- :class:`TelemetryStream` — single-consumer FIFO with a hard record
+  capacity, high/low **watermark backpressure** (a hysteretic flag the
+  generator observes and the metrics layer gauges), and deterministic
+  **load shedding**: when a record arrives at capacity, the stream
+  evicts the *oldest* queued record of the most-backlogged group
+  (ties by name), never the incoming one — so however far behind the
+  consumer falls, the freshest reading per group survives and the
+  degraded-mode ladder always sees the best available truth.
+
+Shedding disabled (``capacity=None``) gives the unprotected arm: an
+unbounded queue whose latency grows without bound once the consumer
+is slower than the offered load.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Optional, Union
+
+from repro.service.clock import VirtualClock
+
+
+@dataclass(frozen=True)
+class TelemetryRecord:
+    """One control group's epoch reading, as emitted on the wire.
+
+    Attributes:
+        seq: Stream-unique monotone sequence number.
+        epoch: Epoch ordinal the reading covers.
+        group: Control-group name.
+        time_ns: Virtual emission time (epoch boundary).
+        demand_gbps: Offered demand the sensor estimated over the epoch.
+        utilization: Busy fraction of the configured rate (0 when off).
+        queue_fraction: Output-queue occupancy at epoch end (grows
+            while demand goes unserved — the wake signal a gated group
+            has left).
+        is_off: Whether the group was powered off during the epoch.
+    """
+
+    seq: int
+    epoch: int
+    group: str
+    time_ns: float
+    demand_gbps: float
+    utilization: float
+    queue_fraction: float
+    is_off: bool
+
+
+@dataclass(frozen=True)
+class EpochTick:
+    """Epoch-boundary control record (never shed)."""
+
+    seq: int
+    epoch: int
+    time_ns: float
+
+
+StreamItem = Union[TelemetryRecord, EpochTick]
+
+
+class TelemetryStream:
+    """Bounded single-consumer ingest queue with watermark shedding.
+
+    Args:
+        clock: The service's virtual clock (progress notes).
+        capacity: Hard bound on queued *data* records; ``None``
+            disables shedding entirely (the unprotected arm).
+        high_watermark: Backlog at which the backpressure flag raises.
+        low_watermark: Backlog at which it clears (hysteresis).
+        on_shed: Optional callable invoked with every shed record
+            (the service audits these as ``service_shed`` decisions).
+    """
+
+    def __init__(self, clock: VirtualClock,
+                 capacity: Optional[int] = 64,
+                 high_watermark: Optional[int] = None,
+                 low_watermark: Optional[int] = None,
+                 on_shed: Optional[Callable[[TelemetryRecord], None]]
+                 = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.clock = clock
+        self.capacity = capacity
+        if high_watermark is None:
+            high_watermark = (max(1, (capacity * 3) // 4)
+                              if capacity is not None else 0)
+        if low_watermark is None:
+            low_watermark = max(0, high_watermark // 2)
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.on_shed = on_shed
+        self.backpressure = False
+        self.offered = 0
+        self.shed = 0
+        self.max_backlog = 0
+        self.backpressure_raises = 0
+        self.shed_by_group: Dict[str, int] = {}
+        self._items: "collections.OrderedDict[int, StreamItem]" = (
+            collections.OrderedDict())
+        self._group_seqs: Dict[str, Deque[int]] = {}
+        self._getter: Optional[asyncio.Future] = None
+
+    # -- producer side ----------------------------------------------------
+
+    def data_backlog(self) -> int:
+        """Queued data records (ticks excluded)."""
+        return sum(len(q) for q in self._group_seqs.values())
+
+    def offer(self, item: StreamItem) -> bool:
+        """Enqueue one item; returns False if it displaced a record.
+
+        Ticks always enqueue.  Records at capacity trigger shedding of
+        the oldest record of the most-backlogged group — deterministic
+        (ties broken by group name) and never the incoming record.
+        """
+        self.offered += 1
+        accepted = True
+        if isinstance(item, TelemetryRecord):
+            if (self.capacity is not None
+                    and self.data_backlog() >= self.capacity):
+                self._shed_oldest(prefer=item.group)
+                accepted = False  # someone was displaced, not refused
+            queue = self._group_seqs.setdefault(item.group,
+                                                collections.deque())
+            queue.append(item.seq)
+        self._items[item.seq] = item
+        backlog = self.data_backlog()
+        self.max_backlog = max(self.max_backlog, backlog)
+        self._update_backpressure(backlog)
+        self._wake_getter()
+        self.clock.note()
+        return accepted
+
+    def _shed_oldest(self, prefer: str) -> None:
+        """Evict the oldest record of the most-backlogged group."""
+        victim_group = prefer if self._group_seqs.get(prefer) else None
+        if victim_group is None:
+            _, victim_group = min((-len(q), name) for name, q in
+                                  self._group_seqs.items() if q)
+        seq = self._group_seqs[victim_group].popleft()
+        record = self._items.pop(seq)
+        self.shed += 1
+        self.shed_by_group[victim_group] = (
+            self.shed_by_group.get(victim_group, 0) + 1)
+        if self.on_shed is not None:
+            self.on_shed(record)
+
+    def _update_backpressure(self, backlog: int) -> None:
+        if self.capacity is None:
+            return
+        if not self.backpressure and backlog >= self.high_watermark:
+            self.backpressure = True
+            self.backpressure_raises += 1
+        elif self.backpressure and backlog <= self.low_watermark:
+            self.backpressure = False
+
+    # -- consumer side ----------------------------------------------------
+
+    def _wake_getter(self) -> None:
+        if self._getter is not None and not self._getter.done():
+            self._getter.set_result(None)
+        self._getter = None
+
+    async def get(self) -> StreamItem:
+        """Pop the oldest queued item, waiting if the stream is empty."""
+        while not self._items:
+            future = asyncio.get_running_loop().create_future()
+            self._getter = future
+            try:
+                await future
+            finally:
+                if self._getter is future:
+                    self._getter = None
+        seq, item = self._items.popitem(last=False)
+        if isinstance(item, TelemetryRecord):
+            queue = self._group_seqs.get(item.group)
+            if queue and queue[0] == seq:
+                queue.popleft()
+        self._update_backpressure(self.data_backlog())
+        self.clock.note()
+        return item
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def digest(self) -> Dict[str, object]:
+        """JSON-safe stream accounting for the service summary."""
+        return {
+            "offered": self.offered,
+            "shed": self.shed,
+            "max_backlog": self.max_backlog,
+            "backpressure_raises": self.backpressure_raises,
+        }

@@ -53,6 +53,12 @@ from repro.workloads.patterns import (
 )
 from repro.workloads.mixed import MixedWorkload
 
+from repro.workloads.service_traces import (
+    DiurnalTraceSource,
+    TraceReplaySource,
+    record_trace,
+)
+
 __all__ = [
     "TraceEvent",
     "Workload",
@@ -82,4 +88,7 @@ __all__ = [
     "transpose",
     "tornado",
     "MixedWorkload",
+    "DiurnalTraceSource",
+    "TraceReplaySource",
+    "record_trace",
 ]

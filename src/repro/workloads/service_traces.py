@@ -1,0 +1,120 @@
+"""Demand traces for the live control-plane service.
+
+The service's load generator replays a *demand trace*: per control
+group, per epoch, the offered demand in Gb/s.  Two sources:
+
+- :class:`DiurnalTraceSource` — a synthetic multi-hour diurnal
+  profile: a raised-cosine day/night swing per group (phase-staggered
+  so the fleet's valleys don't align), a floor cut that takes each
+  group's demand to a true zero for part of the day (so power gating
+  genuinely engages), seeded multiplicative jitter, and occasional
+  demand bursts.  All randomness is stateless string-seeded hashing
+  (``random.Random(f"svctrace:{seed}:{group}:{epoch}")``), so any
+  epoch's demand can be computed independently — which is what lets a
+  service restored from a checkpoint regenerate the tail of the trace
+  without replaying the head, and keeps the trace independent of
+  ``PYTHONHASHSEED``.
+- :class:`TraceReplaySource` — explicit per-group demand arrays
+  (recorded production traces, or a materialized diurnal source via
+  :func:`record_trace` for byte-exact replay in tests).
+
+Both expose the same two-method surface (``groups``,
+``demand(group, epoch)``), which is all the generator needs.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Sequence, Tuple
+
+
+class DiurnalTraceSource:
+    """Synthetic diurnal demand, computable at any (group, epoch).
+
+    Args:
+        groups: Control-group names, in fleet order.
+        epochs_per_day: Epochs in one diurnal period.
+        peak_gbps: Demand at the top of the swing (before jitter).
+        floor_cut: Fraction of ``peak_gbps`` subtracted from the
+            raised cosine; where the profile dips below it, demand is
+            exactly zero (the gating window).
+        jitter: Half-width of the multiplicative per-epoch jitter.
+        burst_probability: Per (group, epoch) chance of a burst.
+        burst_multiplier: Demand multiplier during a burst.
+        seed: Trace seed (independent of the fault seed).
+    """
+
+    def __init__(self, groups: Sequence[str], epochs_per_day: int = 240,
+                 peak_gbps: float = 32.0, floor_cut: float = 0.2,
+                 jitter: float = 0.08, burst_probability: float = 0.02,
+                 burst_multiplier: float = 1.6, seed: int = 0):
+        if epochs_per_day < 2:
+            raise ValueError(
+                f"epochs_per_day must be >= 2, got {epochs_per_day}")
+        self._groups = tuple(groups)
+        self.epochs_per_day = epochs_per_day
+        self.peak_gbps = peak_gbps
+        self.floor_cut = floor_cut
+        self.jitter = jitter
+        self.burst_probability = burst_probability
+        self.burst_multiplier = burst_multiplier
+        self.seed = seed
+
+    @property
+    def groups(self) -> Tuple[str, ...]:
+        """Group names in fleet order."""
+        return self._groups
+
+    def demand(self, group: str, epoch: int) -> float:
+        """Offered demand (Gb/s) for ``group`` over ``epoch``."""
+        index = self._groups.index(group)
+        phase = index / max(1, len(self._groups))
+        t = epoch / self.epochs_per_day + phase
+        swing = 0.5 * (1.0 - math.cos(2.0 * math.pi * t))
+        base = max(0.0, (swing - self.floor_cut) / (1.0 - self.floor_cut))
+        demand = base * self.peak_gbps
+        if demand <= 0.0:
+            return 0.0
+        rng = random.Random(f"svctrace:{self.seed}:{group}:{epoch}")
+        demand *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        if rng.random() < self.burst_probability:
+            demand *= self.burst_multiplier
+        return demand
+
+
+class TraceReplaySource:
+    """Replay explicit per-group demand arrays.
+
+    Args:
+        traces: ``group -> [demand per epoch]``; epochs beyond the
+            array replay it cyclically (diurnal traces are periodic).
+    """
+
+    def __init__(self, traces: Dict[str, Sequence[float]]):
+        if not traces:
+            raise ValueError("trace replay needs at least one group")
+        lengths = {len(v) for v in traces.values()}
+        if len(lengths) != 1 or 0 in lengths:
+            raise ValueError(
+                "all group traces must share one nonzero length, got "
+                f"lengths {sorted(lengths)}")
+        self._traces = {name: list(values)
+                        for name, values in traces.items()}
+        self._length = lengths.pop()
+
+    @property
+    def groups(self) -> Tuple[str, ...]:
+        """Group names in trace order."""
+        return tuple(self._traces)
+
+    def demand(self, group: str, epoch: int) -> float:
+        """Offered demand (Gb/s) for ``group`` over ``epoch``."""
+        return self._traces[group][epoch % self._length]
+
+
+def record_trace(source, epochs: int) -> Dict[str, List[float]]:
+    """Materialize ``epochs`` of a demand source into replayable arrays."""
+    return {group: [source.demand(group, epoch)
+                    for epoch in range(epochs)]
+            for group in source.groups}

@@ -398,3 +398,52 @@ class TestAuditInvariant:
         _, _, _, guard = make_guarded(config=config)
         assert guard.floor == 5.0
         assert guard.config.staleness_ttl_epochs == 5
+
+
+class TestJournalBound:
+    """The power-intent journal is hard-capped: a topology layer that
+    invents transient group labels degrades to oldest-entry eviction,
+    never to unbounded memory on a long-running control plane."""
+
+    def record(self, log, group, t):
+        log.record(Decision(time_ns=t, controller="c", group=group,
+                            channels=(), old_rate=None, new_rate=None,
+                            reason=GATED_OFF, changed=False))
+
+    def test_cap_evicts_oldest_and_counts(self):
+        log = DecisionLog()
+        _, _, _, guard = make_guarded(
+            config=FailsafeConfig(journal_cap=3), log=log)
+        for i in range(5):
+            self.record(log, f"g{i}", t=float(i))
+        assert len(guard._journal) == 3
+        assert set(guard._journal) == {"g2", "g3", "g4"}
+        assert guard.journal_evictions == 2
+
+    def test_reinserting_a_known_group_never_evicts(self):
+        log = DecisionLog()
+        _, _, _, guard = make_guarded(
+            config=FailsafeConfig(journal_cap=2), log=log)
+        self.record(log, "a", t=1.0)
+        self.record(log, "b", t=2.0)
+        for t in (3.0, 4.0, 5.0):
+            self.record(log, "a", t=t)
+        assert guard._journal == {"b": ("off", 2.0), "a": ("off", 5.0)}
+        assert guard.journal_evictions == 0
+
+    def test_update_refreshes_age_order(self):
+        log = DecisionLog()
+        _, _, _, guard = make_guarded(
+            config=FailsafeConfig(journal_cap=2), log=log)
+        self.record(log, "a", t=1.0)
+        self.record(log, "b", t=2.0)
+        self.record(log, "a", t=3.0)  # a is now youngest
+        self.record(log, "c", t=4.0)  # evicts b, not a
+        assert set(guard._journal) == {"a", "c"}
+        assert guard.journal_evictions == 1
+
+    def test_eviction_counter_not_in_digest(self):
+        # FailsafeGuard.digest() feeds the frozen chaos golden; the
+        # bound is an internal safety valve, not a headline number.
+        _, _, _, guard = make_guarded()
+        assert "journal_evictions" not in guard.digest()

@@ -125,6 +125,40 @@ class TestGoldenFiles:
         assert (by_label["skewed/degraded"]["latency_factor"]
                 > by_label["skewed/demand"]["latency_factor"])
 
+    def test_service_resilience_campaign_digest_matches(self):
+        frozen = golden.load(GOLDEN_DIR, "service_resilience")
+        golden.assert_close(frozen, golden.service_resilience_payload())
+
+    def test_service_resilience_verdict_frozen(self):
+        # The service tentpole's acceptance demo, spelled out: every
+        # resilient arm holds zero partitions, bounded p99 decision
+        # latency and the decisions/sec floor under dropout, actuation
+        # loss, a controller crash and a slow consumer, while every
+        # unprotected arm measurably degrades on at least one SLO.
+        frozen = golden.load(GOLDEN_DIR, "service_resilience")
+        assert frozen["resilient_ok"] is True
+        assert frozen["unprotected_degraded"] is True
+        verdict = frozen["verdict"]
+        assert verdict["ok"] is True
+        for arm in verdict["arms"]:
+            _, _, mode = arm["label"].partition("/")
+            if mode == "resilient":
+                assert arm["slo_ok"] is True
+                assert arm["partitions"] == 0
+                assert arm["latency_p99_ns"] <= arm["latency_bound_ns"]
+                assert arm["decisions_per_sec"] >= arm["dps_floor"]
+            else:
+                assert arm["slo_ok"] is False
+                assert arm["violations"]
+        runs = frozen["runs"]
+        # Each robustness mechanism visibly fires in its scenario: the
+        # retry journal under loss, the supervisor under crash, the
+        # shedding path under the slow consumer.
+        assert runs["loss/resilient"]["retries"] > 0
+        assert runs["crash/resilient"]["restarts"] == 1
+        assert runs["slow/resilient"]["sheds"] > 0
+        assert runs["slow/unprotected"]["sheds"] == 0
+
 
 class TestAssertClose:
     def test_accepts_tiny_float_noise(self):

@@ -34,7 +34,7 @@ SRC_ROOT = Path(__file__).resolve().parent.parent / "src"
 #: codes (tuples-of-reasons and similar groupings).
 NON_REASON_CONSTANTS = {
     "REASONS", "FAULT_REASONS", "CONTROL_FAULT_REASONS",
-    "FAILSAFE_REASONS", "TOPOLOGY_REASONS",
+    "FAILSAFE_REASONS", "TOPOLOGY_REASONS", "SERVICE_REASONS",
 }
 
 
@@ -148,7 +148,8 @@ class TestEmittedReasonsAreRegistered:
             if any(True for _ in _iter_taxonomy_imports(_parsed(path))):
                 importers.add(path.name)
         for expected in ("controller.py", "failsafe.py",
-                         "control_faults.py", "faults.py"):
+                         "control_faults.py", "faults.py",
+                         "supervisor.py"):
             assert expected in importers, (
                 f"{expected} no longer imports from the taxonomy "
                 "module — the drift scan may be blind")

@@ -1,0 +1,319 @@
+"""Service substrate: virtual clock, ingest stream, plant, transport.
+
+The campaign golden proves the assembled service end-to-end; this
+module pins each mechanism in isolation — deterministic virtual-time
+scheduling, watermark backpressure and oldest-first shedding, the
+plant's idempotent actuation and stranded-dark partition accounting,
+and the lossy transport's honest delivery bookkeeping.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.faults.control_faults import (
+    ControlFaultScenario,
+    DecisionDelay,
+    DecisionLoss,
+)
+from repro.power.link_rates import RateLadder
+from repro.service import (
+    ActuationTransport,
+    EpochTick,
+    FabricPlant,
+    RateCommand,
+    ServiceChaos,
+    TelemetryRecord,
+    TelemetryStream,
+    VirtualClock,
+)
+
+
+def record(seq, group="g0", epoch=0, demand=5.0, queue=0.0,
+           off=False, t=0.0):
+    return TelemetryRecord(seq=seq, epoch=epoch, group=group,
+                           time_ns=t, demand_gbps=demand,
+                           utilization=0.5, queue_fraction=queue,
+                           is_off=off)
+
+
+class TestVirtualClock:
+    def test_sleepers_wake_in_time_order(self):
+        async def main():
+            clock = VirtualClock()
+            order = []
+
+            async def sleeper(delta, tag):
+                await clock.sleep(delta)
+                order.append((tag, clock.now_ns))
+                clock.note()
+
+            tasks = [asyncio.ensure_future(sleeper(30.0, "c")),
+                     asyncio.ensure_future(sleeper(10.0, "a")),
+                     asyncio.ensure_future(sleeper(20.0, "b"))]
+            await clock.drive(100.0)
+            for task in tasks:
+                task.cancel()
+            return order, clock.now_ns
+
+        order, now = asyncio.run(main())
+        assert order == [("a", 10.0), ("b", 20.0), ("c", 30.0)]
+        assert now == 100.0  # drive leaves the clock at the horizon
+
+    def test_ties_wake_in_registration_order(self):
+        async def main():
+            clock = VirtualClock()
+            order = []
+
+            async def sleeper(tag):
+                await clock.sleep(10.0)
+                order.append(tag)
+                clock.note()
+
+            tasks = [asyncio.ensure_future(sleeper(t))
+                     for t in ("x", "y", "z")]
+            await clock.drive(10.0)
+            for task in tasks:
+                task.cancel()
+            return order
+
+        assert asyncio.run(main()) == ["x", "y", "z"]
+
+    def test_time_cannot_rewind(self):
+        clock = VirtualClock(start_ns=50.0)
+        with pytest.raises(ValueError, match="rewind"):
+            clock.advance_to(10.0)
+
+    def test_sleep_in_the_past_still_yields(self):
+        async def main():
+            clock = VirtualClock(start_ns=100.0)
+            await clock.sleep_until(10.0)
+            return clock.now_ns
+
+        assert asyncio.run(main()) == 100.0
+
+    def test_busy_looping_coroutine_fails_loudly(self):
+        async def main():
+            clock = VirtualClock()
+
+            async def spinner():
+                while True:
+                    clock.note()
+                    await asyncio.sleep(0)
+
+            task = asyncio.ensure_future(spinner())
+            try:
+                await clock.drive(10.0)
+            finally:
+                task.cancel()
+
+        with pytest.raises(RuntimeError, match="quiesce"):
+            asyncio.run(main())
+
+
+class TestTelemetryStream:
+    def make(self, capacity=3, **kwargs):
+        return TelemetryStream(VirtualClock(), capacity=capacity,
+                               **kwargs)
+
+    def test_fifo_order_across_records_and_ticks(self):
+        stream = self.make(capacity=8)
+        stream.offer(record(1, "a"))
+        stream.offer(EpochTick(seq=2, epoch=0, time_ns=0.0))
+        stream.offer(record(3, "b"))
+
+        async def drain():
+            return [await stream.get() for _ in range(3)]
+
+        seqs = [item.seq for item in asyncio.run(drain())]
+        assert seqs == [1, 2, 3]
+
+    def test_shedding_keeps_the_freshest_reading_per_group(self):
+        shed = []
+        stream = self.make(capacity=2, on_shed=shed.append)
+        stream.offer(record(1, "a", epoch=0))
+        stream.offer(record(2, "b", epoch=0))
+        stream.offer(record(3, "a", epoch=1))  # sheds a's epoch-0
+        assert [r.seq for r in shed] == [1]
+        assert stream.shed == 1
+        assert stream.shed_by_group == {"a": 1}
+        assert stream.data_backlog() == 2
+
+    def test_shedding_falls_back_to_most_backlogged_group(self):
+        shed = []
+        stream = self.make(capacity=3, on_shed=shed.append)
+        stream.offer(record(1, "a"))
+        stream.offer(record(2, "a", epoch=1))
+        stream.offer(record(3, "b"))
+        stream.offer(record(4, "c"))  # c has no backlog; a is deepest
+        assert [r.seq for r in shed] == [1]
+
+    def test_shedding_ties_break_by_group_name(self):
+        shed = []
+        stream = self.make(capacity=2, on_shed=shed.append)
+        stream.offer(record(1, "b"))
+        stream.offer(record(2, "a"))
+        stream.offer(record(3, "c"))
+        assert [r.group for r in shed] == ["a"]
+
+    def test_ticks_are_never_shed(self):
+        stream = self.make(capacity=1)
+        stream.offer(record(1, "a"))
+        for seq in range(2, 6):
+            stream.offer(EpochTick(seq=seq, epoch=seq, time_ns=0.0))
+        assert stream.shed == 0
+        assert len(stream) == 5  # 1 record + 4 ticks
+
+    def test_watermark_hysteresis(self):
+        stream = self.make(capacity=8, high_watermark=4,
+                           low_watermark=2)
+        for seq in range(4):
+            stream.offer(record(seq, f"g{seq}"))
+        assert stream.backpressure is True
+        assert stream.backpressure_raises == 1
+
+        async def drain(n):
+            for _ in range(n):
+                await stream.get()
+
+        asyncio.run(drain(1))
+        assert stream.backpressure is True  # 3 > low watermark
+        asyncio.run(drain(1))
+        assert stream.backpressure is False
+        stream.offer(record(10, "x"))  # backlog 3 < high: no raise
+        assert stream.backpressure_raises == 1
+        stream.offer(record(11, "y"))  # backlog 4 hits high again
+        assert stream.backpressure_raises == 2
+
+    def test_unbounded_mode_never_sheds(self):
+        stream = self.make(capacity=None)
+        for seq in range(100):
+            stream.offer(record(seq, "a", epoch=seq))
+        assert stream.shed == 0
+        assert stream.data_backlog() == 100
+        assert stream.backpressure is False
+
+    def test_zero_capacity_is_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            self.make(capacity=0)
+
+
+class TestFabricPlant:
+    def make(self, groups=("a", "b"), **kwargs):
+        kwargs.setdefault("epoch_ns", 1e9)
+        kwargs.setdefault("strand_grace_epochs", 2)
+        return FabricPlant(groups, ladder=RateLadder((10.0, 40.0)),
+                           **kwargs)
+
+    def test_apply_is_idempotent(self):
+        plant = self.make()
+        assert plant.apply("a", 10.0, 0.0) is True
+        assert plant.apply("a", 10.0, 0.0) is False
+        assert plant.apply("a", 0.0, 0.0) is True
+        assert plant.apply("a", 0.0, 0.0) is False
+        assert plant.groups["a"].duplicates == 2
+
+    def test_waking_pays_the_reactivation_delay(self):
+        plant = self.make(reactivation_ns=5e6)
+        plant.apply("a", 0.0, 0.0)
+        plant.apply("a", 10.0, 1e9)
+        g = plant.groups["a"]
+        assert g.capacity_gbps(1e9 + 1e6) == 0.0   # still re-locking
+        assert g.capacity_gbps(1e9 + 6e6) == 10.0
+
+    def test_rates_clamp_to_the_ladder(self):
+        plant = self.make()
+        plant.apply("a", 17.0, 0.0)
+        assert plant.groups["a"].rate_gbps in (10.0, 40.0)
+
+    def test_stranded_interval_counts_one_partition(self):
+        plant = self.make()
+        plant.apply("a", 0.0, 0.0)
+        for epoch in range(5):
+            plant.step(epoch, epoch * 1e9, {"a": 4.0, "b": 0.0})
+        # grace=2: epochs 0-2 within grace, epoch 3 opens the interval.
+        assert plant.partitions == 1
+        assert plant.stranded_epochs == 5
+        # Demand relief closes the interval; a second strand is a
+        # second partition.
+        plant.step(5, 5e9, {"a": 0.0, "b": 0.0})
+        for epoch in range(6, 10):
+            plant.step(epoch, epoch * 1e9, {"a": 4.0, "b": 0.0})
+        assert plant.partitions == 2
+
+    def test_queue_accumulates_unserved_demand_then_drains(self):
+        plant = self.make()
+        plant.apply("a", 0.0, 0.0)
+        plant.step(0, 0.0, {"a": 4.0})
+        g = plant.groups["a"]
+        assert g.queue_gbs == pytest.approx(4.0)
+        plant.apply("a", 40.0, 1e9)
+        plant.step(1, 2e9, {"a": 4.0})
+        assert g.queue_gbs == pytest.approx(0.0)
+        assert plant.served_fraction == pytest.approx(1.0)
+
+    def test_mean_rate_fraction_is_the_energy_proxy(self):
+        plant = self.make(groups=("a",))
+        plant.apply("a", 10.0, 0.0)
+        plant.step(0, 0.0, {"a": 1.0})
+        assert plant.mean_rate_fraction == pytest.approx(0.25)
+
+
+class TestActuationTransport:
+    def run_send(self, scenario=None, seq=1):
+        acks = []
+
+        async def main():
+            clock = VirtualClock()
+            plant = FabricPlant(("a",), epoch_ns=1e9)
+            chaos = (ServiceChaos(clock, scenario=scenario)
+                     if scenario is not None else None)
+            transport = ActuationTransport(
+                clock, plant, chaos=chaos, base_delay_ns=2e6,
+                ack_delay_ns=2e6,
+                on_ack=lambda cmd, changed: acks.append(
+                    (cmd.seq, changed, clock.now_ns)))
+            transport.send(RateCommand(seq=seq, group="a",
+                                       rate_gbps=10.0, epoch=0,
+                                       time_ns=0.0))
+            await clock.drive(1e9)
+            return transport, plant
+
+        transport, plant = asyncio.run(main())
+        return transport, plant, acks
+
+    def test_delivery_applies_and_acks(self):
+        transport, plant, acks = self.run_send()
+        assert transport.digest() == {
+            "sent": 1, "lost": 0, "delayed": 0, "delivered": 1,
+            "acked": 1}
+        assert plant.groups["a"].rate_gbps == 10.0
+        assert acks == [(1, True, 4e6)]  # send + ack delay
+
+    def test_lost_command_never_reaches_the_plant(self):
+        scenario = ControlFaultScenario(
+            name="t", loss=DecisionLoss(probability=1.0))
+        transport, plant, acks = self.run_send(scenario=scenario)
+        assert transport.lost == 1
+        assert transport.delivered == 0
+        assert plant.groups["a"].applied == 0
+        assert acks == []
+
+    def test_delayed_command_arrives_late_but_intact(self):
+        scenario = ControlFaultScenario(
+            name="t", delay=DecisionDelay(probability=1.0, epochs=0.1))
+        transport, plant, acks = self.run_send(scenario=scenario)
+        assert transport.delayed == 1
+        assert acks[0][2] == pytest.approx(0.1 * 1e9 + 4e6)
+
+    def test_resends_draw_independent_fates(self):
+        # probability 0.5: with fresh seqs the fate eventually differs.
+        scenario = ControlFaultScenario(
+            name="t", loss=DecisionLoss(probability=0.5))
+        fates = set()
+        for seq in range(1, 12):
+            transport, _, _ = self.run_send(scenario=scenario, seq=seq)
+            fates.add(transport.lost)
+        assert fates == {0, 1}

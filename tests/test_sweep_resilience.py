@@ -232,3 +232,70 @@ class TestStatsFormatting:
         assert line.index("retried") < line.index("failed")
         assert "2 retried" in line
         assert "1 failed" in line
+
+
+def _interrupt_on_seed3_worker(spec):
+    """Simulates Ctrl-C arriving while seed 3 is in flight."""
+    if spec.seed == 3:
+        raise KeyboardInterrupt()
+    return _execute_spec(spec)
+
+
+class TestGracefulInterrupt:
+    """Ctrl-C / SIGTERM mid-sweep: drain, flush, account, re-raise."""
+
+    def test_inline_interrupt_keeps_completed_results(self, tmp_path):
+        log = tmp_path / "runs.jsonl"
+        runner = SweepRunner(jobs=1, use_cache=False,
+                             run_log=log,
+                             worker_fn=_interrupt_on_seed3_worker)
+        specs = [SPEC_A, SPEC_B,
+                 SimulationSpec(k=2, n=2, duration_ns=100_000.0,
+                                seed=4)]
+        with pytest.raises(KeyboardInterrupt):
+            runner.run(specs)
+        # SPEC_A completed before the interrupt; SPEC_B (the victim)
+        # and the never-started seed-4 spec are accounted, not lost.
+        assert runner.last_stats.executed == 1
+        assert runner.last_stats.interrupted == 2
+        assert "interrupted" in runner.last_stats.format_line()
+        # The completed result was flushed to the JSONL run log.
+        records = read_run_log(log)
+        assert len(records) == 1
+        assert records[0]["spec"]["seed"] == SPEC_A.seed
+        # ... and survives in the memo: a rerun needs no simulation.
+        rerun = runner.run([SPEC_A])
+        assert rerun[SPEC_A].spec == SPEC_A
+        assert runner.last_stats.executed == 0
+
+    def test_pool_interrupt_drains_and_harvests(self, tmp_path):
+        log = tmp_path / "runs.jsonl"
+        runner = SweepRunner(jobs=2, use_cache=False,
+                             run_log=log,
+                             worker_fn=_interrupt_on_seed3_worker)
+        with pytest.raises(KeyboardInterrupt):
+            runner.run([SPEC_A, SPEC_B])
+        assert runner.last_stats.executed == 1
+        assert runner.last_stats.interrupted == 1
+        records = read_run_log(log)
+        assert len(records) == 1
+        assert records[0]["spec"]["seed"] == SPEC_A.seed
+
+    def test_sigterm_is_delivered_as_keyboard_interrupt(self):
+        from repro.experiments.sweep import _sigterm_as_interrupt
+        previous = signal.getsignal(signal.SIGTERM)
+        with pytest.raises(KeyboardInterrupt):
+            with _sigterm_as_interrupt():
+                os.kill(os.getpid(), signal.SIGTERM)
+                signal.pause()  # pragma: no cover - interrupt lands
+        assert signal.getsignal(signal.SIGTERM) is previous
+
+    def test_interrupted_counts_merge_and_round_trip(self):
+        stats = SweepStats(interrupted=2)
+        other = SweepStats(interrupted=3)
+        stats.merge(other)
+        assert stats.interrupted == 5
+        assert stats.to_dict()["interrupted"] == 5
+        snapshot = stats.snapshot()
+        assert snapshot.interrupted == 5
+        assert stats.delta(SweepStats()).interrupted == 5
